@@ -1,0 +1,59 @@
+// Figure 12: prefetch coverage (issued prefetches / demand fetches) and
+// accuracy (prefetches consumed by demand / issued) per prefetcher per
+// benchmark, plus the means the paper quotes (CAPS: ~18% coverage at ~97%
+// accuracy).
+#include <cstdio>
+
+#include "harness/tables.hpp"
+#include "matrix.hpp"
+
+using namespace caps;
+using namespace caps::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  std::printf("Fig. 12 — prefetch coverage and accuracy%s\n\n",
+              quick ? " (--quick subset)" : "");
+
+  const auto workloads = matrix_workloads(quick);
+  const Matrix m = run_matrix(workloads);
+
+  for (const char* what : {"coverage", "accuracy"}) {
+    std::vector<std::string> headers{"bench"};
+    for (PrefetcherKind pf : prefetcher_legend())
+      headers.push_back(to_string(pf));
+    Table t(headers);
+    std::map<std::string, std::vector<double>> means;
+    const bool is_cov = std::string(what) == "coverage";
+
+    for (const std::string& wl : workloads) {
+      const auto& runs = m.at(wl);
+      std::vector<std::string> row{wl};
+      for (std::size_t i = 1; i < runs.size(); ++i) {
+        const double v = is_cov ? runs[i].stats.pf_coverage()
+                                : runs[i].stats.pf_accuracy();
+        row.push_back(fmt_percent(v));
+        means[to_string(runs[i].cfg.prefetcher)].push_back(v);
+      }
+      t.add_row(row);
+    }
+    std::vector<std::string> mean_row{"Mean"};
+    for (PrefetcherKind pf : prefetcher_legend()) {
+      const auto& v = means[to_string(pf)];
+      double sum = 0;
+      for (double x : v) sum += x;
+      mean_row.push_back(fmt_percent(v.empty() ? 0 : sum / v.size()));
+    }
+    t.add_row(mean_row);
+
+    std::printf("(%s)\n%s\n", what, t.to_string().c_str());
+    const std::string csv = parse_csv_arg(argc, argv);
+    if (!csv.empty()) t.write_csv(csv + "." + what + ".csv");
+  }
+
+  std::printf("Paper shape: CAPS pairs moderate coverage (~18%%) with very "
+              "high accuracy (~97%%); INTER/MTA have high coverage but low "
+              "accuracy; irregular benchmarks (PVR/CCL/BFS/KM) show low CAPS "
+              "coverage because indirect loads are excluded.\n");
+  return 0;
+}

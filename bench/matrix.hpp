@@ -1,0 +1,50 @@
+// Shared driver for the Fig. 10/12/13/15 experiment matrix: every Table IV
+// workload under BASE + the seven prefetchers. `--quick` restricts to a
+// four-benchmark subset for smoke runs.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps::bench {
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") return true;
+  return false;
+}
+
+inline std::vector<std::string> matrix_workloads(bool quick) {
+  if (quick) return {"MM", "LPS", "CNV", "BFS"};
+  std::vector<std::string> all;
+  for (const Workload& w : workload_suite()) all.push_back(w.abbr);
+  return all;
+}
+
+/// results[workload][config-index]: index 0 = BASE, then the Fig. 10 legend.
+using Matrix = std::map<std::string, std::vector<RunResult>>;
+
+inline Matrix run_matrix(const std::vector<std::string>& workloads) {
+  Matrix m;
+  for (const std::string& wl : workloads) {
+    std::fprintf(stderr, "  running %s (8 configurations)...\n", wl.c_str());
+    m[wl] = run_all_prefetchers(wl);
+  }
+  return m;
+}
+
+/// Geometric-mean helper used for the "Mean" columns of the figures.
+inline double geo_mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : v) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace caps::bench

@@ -1,0 +1,153 @@
+// google-benchmark micro-suite: throughput of the individual simulator
+// components (tag probes, MSHR churn, coalescing, DRAM scheduling, CAPS
+// table operations, scheduler picks, and a whole-GPU cycle).
+#include <benchmark/benchmark.h>
+
+#include "core/caps_prefetcher.hpp"
+#include "gpu/coalescer.hpp"
+#include "gpu/gpu.hpp"
+#include "harness/experiment.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/mshr.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+namespace {
+
+void BM_CacheProbe(benchmark::State& state) {
+  GpuConfig cfg;
+  SetAssocCache cache(cfg.l1d);
+  for (u32 i = 0; i < cfg.l1d.num_lines(); ++i)
+    cache.fill(static_cast<Addr>(i) * 128, LineMeta{});
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(line));
+    line = (line + 128) & 0x3FFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_MshrAllocateFill(benchmark::State& state) {
+  GpuConfig cfg;
+  Mshr<L1Access> mshr(cfg.l1d.mshr_entries, cfg.l1d.mshr_max_merged);
+  Addr line = 0;
+  for (auto _ : state) {
+    mshr.allocate(line, L1Access{});
+    benchmark::DoNotOptimize(mshr.fill(line));
+    line += 128;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MshrAllocateFill);
+
+void BM_Coalesce32Lanes(benchmark::State& state) {
+  Coalescer co(128);
+  AddressPattern p = linear_pattern(0x1000'0000, 4, 256);
+  u32 warp = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(co.coalesce(p, {256, 1, 1}, {1, 2}, 9, warp, 3));
+    warp = (warp + 1) % 8;
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_Coalesce32Lanes);
+
+void BM_DramChannelCycle(benchmark::State& state) {
+  GpuConfig cfg;
+  u64 completed = 0;
+  DramChannel ch(cfg, [&](const MemRequest&) { ++completed; });
+  Cycle now = 0;
+  Addr line = 0;
+  for (auto _ : state) {
+    if (ch.can_accept()) {
+      MemRequest r;
+      r.line = line;
+      line += 2048;  // spread across banks
+      r.created = now;
+      ch.submit(r);
+    }
+    ch.cycle(now++);
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramChannelCycle);
+
+void BM_CapsTableLookup(benchmark::State& state) {
+  GpuConfig cfg;
+  CapsPrefetcher pf(cfg);
+  pf.on_cta_launch(0, {0, 0}, 0, 8);
+  std::vector<PrefetchRequest> out;
+  std::vector<Addr> lines{0x10000};
+  u32 warp = 0;
+  for (auto _ : state) {
+    LoadIssueInfo info;
+    info.pc = 0x40;
+    info.cta_slot = 0;
+    info.warp_slot = warp;
+    info.warp_in_cta = warp;
+    info.warps_in_cta = 8;
+    lines[0] = 0x10000 + warp * 2048;
+    info.lines = lines;
+    out.clear();
+    pf.on_load_issue(info, out);
+    benchmark::DoNotOptimize(out);
+    warp = (warp + 1) % 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CapsTableLookup);
+
+void BM_SchedulerPick(benchmark::State& state) {
+  GpuConfig cfg;
+  std::vector<WarpContext> warps(cfg.max_warps_per_sm);
+  for (u32 w = 0; w < 16; ++w) warps[w].status = WarpStatus::kActive;
+  auto sched = make_scheduler(
+      SchedulerKind::kTwoLevel, cfg, warps, [](u32, Cycle) { return true; },
+      [](u32) { return false; });
+  sched->on_cta_launch(0, 0, 16);
+  Cycle now = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(sched->pick(now++));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerPick);
+
+void BM_FullGpuCycle(benchmark::State& state) {
+  GpuConfig cfg;
+  cfg.max_cycles = ~0ULL;
+  const Kernel& k = find_workload("LPS").kernel;
+  SmPolicyFactories pol =
+      make_policies(PrefetcherKind::kCaps, SchedulerKind::kPas, true);
+  auto gpu = std::make_unique<Gpu>(cfg, k, pol);
+  for (auto _ : state) {
+    if (gpu->done())  // restart; construction amortizes over ~10^5 steps
+      gpu = std::make_unique<Gpu>(cfg, k, pol);
+    gpu->step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullGpuCycle);
+
+void BM_EndToEndSmallKernel(benchmark::State& state) {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  KernelBuilder b("bench", {8, 1, 1}, {128, 1, 1});
+  b.alu(4);
+  b.load(linear_pattern(0x1000'0000, 4, 128));
+  b.alu(4, true);
+  const Kernel k = b.build();
+  for (auto _ : state) {
+    SmPolicyFactories pol =
+        make_policies(PrefetcherKind::kCaps, SchedulerKind::kPas, true);
+    Gpu gpu(cfg, k, pol);
+    benchmark::DoNotOptimize(gpu.run().cycles);
+  }
+}
+BENCHMARK(BM_EndToEndSmallKernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace caps
+
+BENCHMARK_MAIN();

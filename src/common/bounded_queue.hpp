@@ -1,0 +1,56 @@
+// Fixed-capacity FIFO used to model hardware queues. Capacity is a hard
+// structural limit: callers must check full() before push().
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= capacity_; }
+
+  /// Push; asserts there is room (model code must gate on full()).
+  void push(T item) {
+    assert(!full() && "BoundedQueue overflow: caller must check full()");
+    items_.push_back(std::move(item));
+  }
+
+  T& front() {
+    assert(!empty());
+    return items_.front();
+  }
+  const T& front() const {
+    assert(!empty());
+    return items_.front();
+  }
+
+  T pop() {
+    assert(!empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace caps

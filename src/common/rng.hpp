@@ -1,0 +1,25 @@
+// Deterministic hashing used to synthesize data-dependent (indirect)
+// addresses. The simulator never uses wall-clock entropy: identical configs
+// must produce identical cycle counts.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace caps {
+
+/// splitmix64 finalizer — a high-quality 64-bit mixing function.
+constexpr u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine several values into one deterministic hash.
+constexpr u64 hash_combine(u64 a, u64 b) { return mix64(a ^ (b * 0x9e3779b97f4a7c15ULL)); }
+
+constexpr u64 hash_combine(u64 a, u64 b, u64 c) {
+  return hash_combine(hash_combine(a, b), c);
+}
+
+}  // namespace caps

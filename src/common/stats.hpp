@@ -1,0 +1,50 @@
+// Small statistics helpers used by all subsystems. Hot-path counters are
+// plain u64 members of per-component stats structs; this header provides the
+// shared aggregation utilities.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+/// Streaming mean/min/max accumulator (no per-sample storage).
+class RunningStat {
+ public:
+  void add(double v) {
+    ++n_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  u64 count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  void merge(const RunningStat& o) {
+    n_ += o.n_;
+    sum_ += o.sum_;
+    if (o.n_ > 0) {
+      if (o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+ private:
+  u64 n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// Safe ratio helper: returns `num/den`, or `if_zero` when den == 0.
+inline double ratio(u64 num, u64 den, double if_zero = 0.0) {
+  return den == 0 ? if_zero : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace caps

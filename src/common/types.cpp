@@ -1,0 +1,10 @@
+#include "common/types.hpp"
+
+namespace caps {
+
+std::string format_dim3(const Dim3& d) {
+  return "(" + std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+         std::to_string(d.z) + ")";
+}
+
+}  // namespace caps

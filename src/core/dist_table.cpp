@@ -1,0 +1,39 @@
+#include "core/dist_table.hpp"
+
+namespace caps {
+
+DistTable::Entry* DistTable::find(Addr pc) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.pc == pc) {
+      e.lru = ++clock_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+DistTable::Entry* DistTable::record(Addr pc, i64 stride) {
+  if (Entry* existing = find(pc)) {
+    existing->stride = stride;
+    existing->mispredicts = 0;
+    return existing;
+  }
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    // Sticky admission: only a throttled entry may be replaced.
+    if (throttled(e) && (victim == nullptr || e.lru < victim->lru)) victim = &e;
+  }
+  if (victim == nullptr) return nullptr;
+  *victim = Entry{};
+  victim->valid = true;
+  victim->pc = pc;
+  victim->stride = stride;
+  victim->lru = ++clock_;
+  return victim;
+}
+
+}  // namespace caps

@@ -1,0 +1,14 @@
+#include "core/hw_cost.hpp"
+
+namespace caps {
+
+CapsHardwareCost compute_caps_hardware_cost(const GpuConfig& cfg) {
+  CapsHardwareCost cost;
+  cost.dist_bytes = DistEntryLayout{}.total() * cfg.caps.dist_entries;
+  cost.percta_bytes = PerCtaEntryLayout{}.total() * cfg.caps.percta_entries *
+                      cfg.max_ctas_per_sm;
+  cost.total_bytes = cost.dist_bytes + cost.percta_bytes;
+  return cost;
+}
+
+}  // namespace caps

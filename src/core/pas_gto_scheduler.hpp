@@ -1,0 +1,72 @@
+// PAS-GTO: the paper's sketch of applying prefetch-aware scheduling to a
+// greedy-then-oldest scheduler (Section V-A): "in the GTO, ... our approach
+// can be applied by prioritizing the leading warps so that the leading
+// warps are greedily scheduled until they compute the base address. Then
+// the trailing warps can continue to execute."
+//
+// Policy: if any leading warp (one per CTA, marker cleared at its first
+// global access) is eligible, greedily schedule the oldest of them;
+// otherwise behave exactly like GTO. Included as the paper's proposed
+// extension; Fig. 14b-style comparisons can be run with
+// SchedulerKind::kGto vs this class via make_policies overrides.
+#pragma once
+
+#include "gpu/scheduler.hpp"
+
+namespace caps {
+
+class PasGtoScheduler final : public Scheduler {
+ public:
+  PasGtoScheduler(const GpuConfig& cfg, std::vector<WarpContext>& warps,
+                  std::function<bool(u32, Cycle)> eligible,
+                  std::function<bool(u32)> waiting_mem)
+      : Scheduler(cfg, warps, std::move(eligible), std::move(waiting_mem)) {}
+
+  void on_cta_launch(u32 /*cta_slot*/, u32 first_warp,
+                     u32 /*num_warps*/) override {
+    warps_[first_warp].leading = true;
+  }
+
+  void on_warp_done(u32 slot) override {
+    if (greedy_ == static_cast<i32>(slot)) greedy_ = kNoWarp;
+  }
+
+  i32 pick(Cycle now) override {
+    // Leading warps first (oldest wins), greedily.
+    i32 best = kNoWarp;
+    u64 best_age = ~0ULL;
+    for (u32 slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+      const WarpContext& w = warps_[slot];
+      if (!w.leading || !w.runnable() || !eligible_(slot, now)) continue;
+      if (w.launch_order < best_age) {
+        best_age = w.launch_order;
+        best = static_cast<i32>(slot);
+      }
+    }
+    if (best != kNoWarp) {
+      greedy_ = best;
+      return best;
+    }
+    // Plain GTO.
+    if (greedy_ != kNoWarp && warps_[greedy_].runnable() &&
+        eligible_(static_cast<u32>(greedy_), now))
+      return greedy_;
+    best_age = ~0ULL;
+    for (u32 slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+      if (!warps_[slot].runnable() || !eligible_(slot, now)) continue;
+      if (warps_[slot].launch_order < best_age) {
+        best_age = warps_[slot].launch_order;
+        best = static_cast<i32>(slot);
+      }
+    }
+    greedy_ = best;
+    return best;
+  }
+
+  const char* name() const override { return "PAS-GTO"; }
+
+ private:
+  i32 greedy_ = kNoWarp;
+};
+
+}  // namespace caps

@@ -1,0 +1,67 @@
+#include "core/pas_scheduler.hpp"
+
+#include <algorithm>
+
+namespace caps {
+
+void PasScheduler::on_cta_launch(u32 /*cta_slot*/, u32 first_warp,
+                                 u32 num_warps) {
+  // Mark the CTA's first warp as its leading warp (one-bit marker).
+  warps_[first_warp].leading = true;
+
+  // Leading warp jumps the queue (Fig. 8b): front of the ready queue when
+  // a slot is free, otherwise front of the pending queue so the next
+  // promotion takes it. (Forcibly displacing a resident ready warp measures
+  // worse on barrier-synchronized kernels: the displaced trailing warp
+  // delays its whole CTA's barrier.)
+  if (ready_.size() < cfg_.ready_queue_size)
+    enqueue_ready(first_warp, /*to_front=*/true);
+  else
+    pending_.push_front(first_warp);
+
+  for (u32 w = first_warp + 1; w < first_warp + num_warps; ++w) {
+    if (ready_.size() < cfg_.ready_queue_size)
+      enqueue_ready(w, /*to_front=*/false);
+    else
+      pending_.push_back(w);
+  }
+}
+
+i32 PasScheduler::next_promotion(Cycle /*now*/) {
+  // Leading warps first, then FIFO over trailing warps.
+  for (u32 pass = 0; pass < 2; ++pass) {
+    for (u32 i = 0; i < pending_.size(); ++i) {
+      const u32 slot = pending_[i];
+      if (!warps_[slot].runnable() || waiting_mem_(slot)) continue;
+      if (pass == 0 && !warps_[slot].leading) continue;
+      return static_cast<i32>(i);
+    }
+  }
+  return -1;
+}
+
+void PasScheduler::on_prefetch_fill(u32 slot) {
+  if (!eager_wakeup_) return;
+  if (!warps_[slot].runnable()) return;
+  auto it = std::find(pending_.begin(), pending_.end(), slot);
+  if (it == pending_.end()) return;  // already ready (or done): nothing to do
+  pending_.erase(it);
+  if (ready_.size() >= cfg_.ready_queue_size) {
+    // Forcibly push one trailing ready warp back to pending to make room.
+    for (auto rit = ready_.rbegin(); rit != ready_.rend(); ++rit) {
+      if (!warps_[*rit].leading) {
+        pending_.push_front(*rit);
+        ready_.erase(std::next(rit).base());
+        break;
+      }
+    }
+    if (ready_.size() >= cfg_.ready_queue_size) {
+      // All ready warps are leading: demote the tail.
+      pending_.push_front(ready_.back());
+      ready_.pop_back();
+    }
+  }
+  ready_.push_back(slot);
+}
+
+}  // namespace caps

@@ -1,0 +1,38 @@
+// PAS: the Prefetch-Aware Scheduler (Section V-A).
+//
+// A two-level scheduler with two changes:
+//  1. Leading-warp priority — one warp per CTA carries a one-bit leading
+//     marker; leading warps enter the *front* of the ready queue and are
+//     promoted out of the pending queue ahead of trailing warps, so every
+//     CTA's base address is computed as early as possible (Fig. 8b).
+//  2. Eager warp wake-up — when a prefetch bound to a pending warp fills
+//     L1, that warp is promoted immediately; if the ready queue is full, a
+//     trailing ready warp is forcibly pushed back to the pending queue.
+#pragma once
+
+#include "gpu/scheduler.hpp"
+
+namespace caps {
+
+class PasScheduler final : public TwoLevelScheduler {
+ public:
+  PasScheduler(const GpuConfig& cfg, std::vector<WarpContext>& warps,
+               std::function<bool(u32, Cycle)> eligible,
+               std::function<bool(u32)> waiting_mem,
+               bool eager_wakeup = true)
+      : TwoLevelScheduler(cfg, warps, std::move(eligible),
+                          std::move(waiting_mem)),
+        eager_wakeup_(eager_wakeup) {}
+
+  void on_cta_launch(u32 cta_slot, u32 first_warp, u32 num_warps) override;
+  void on_prefetch_fill(u32 slot) override;
+  const char* name() const override { return "PAS"; }
+
+ protected:
+  i32 next_promotion(Cycle now) override;
+
+ private:
+  bool eager_wakeup_;
+};
+
+}  // namespace caps

@@ -1,0 +1,47 @@
+#include "core/percta_table.hpp"
+
+namespace caps {
+
+PerCtaTable::Entry* PerCtaTable::find(Addr pc) {
+  for (Entry& e : entries_) {
+    if (e.valid && e.pc == pc) {
+      e.lru = ++clock_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+PerCtaTable::Entry& PerCtaTable::insert(Addr pc) {
+  Entry* victim = nullptr;
+  for (Entry& e : entries_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.lru < victim->lru) victim = &e;
+  }
+  *victim = Entry{};
+  victim->valid = true;
+  victim->pc = pc;
+  victim->lru = ++clock_;
+  return *victim;
+}
+
+void PerCtaTable::invalidate(Addr pc) {
+  for (Entry& e : entries_)
+    if (e.valid && e.pc == pc) e = Entry{};
+}
+
+void PerCtaTable::clear() {
+  for (Entry& e : entries_) e = Entry{};
+}
+
+std::vector<PerCtaTable::Entry*> PerCtaTable::valid_entries() {
+  std::vector<Entry*> out;
+  for (Entry& e : entries_)
+    if (e.valid) out.push_back(&e);
+  return out;
+}
+
+}  // namespace caps

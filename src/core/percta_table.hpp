@@ -1,0 +1,56 @@
+// PerCTA table (Section V-B): one table per hardware CTA slot, four entries
+// by default. Each entry stores a targeted load PC, the id of the leading
+// warp that first executed it, and the (up to four) coalesced base line
+// addresses that warp produced. Least-recently-updated replacement.
+//
+// The issued/prefetched warp masks are reproduction bookkeeping: hardware
+// derives "which warps already ran this load" from warp progress, the
+// simulator keeps it explicit so prefetches are generated exactly once per
+// (CTA, PC, warp).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+class PerCtaTable {
+ public:
+  struct Entry {
+    bool valid = false;
+    Addr pc = 0;
+    u32 leading_warp = 0;   ///< warp-in-CTA id of the leading warp
+    u32 iteration = 0;      ///< loop iteration the bases were captured at
+    std::vector<Addr> bases;  ///< base line addresses (<= 4)
+    u64 issued_mask = 0;      ///< warps that already executed this load
+    u64 prefetched_mask = 0;  ///< warps a prefetch was generated for
+    u64 lru = 0;
+  };
+
+  explicit PerCtaTable(u32 num_entries) : entries_(num_entries) {}
+
+  /// Find the entry for `pc`, refreshing its LRU stamp. nullptr if absent.
+  Entry* find(Addr pc);
+
+  /// Allocate an entry for `pc`, evicting the least recently updated one if
+  /// the table is full. The returned entry is blank except for pc/lru.
+  Entry& insert(Addr pc);
+
+  /// Drop the entry for `pc` (non-striding load detected).
+  void invalidate(Addr pc);
+
+  /// Drop everything (CTA completed; the slot is recycled).
+  void clear();
+
+  /// All valid entries (case-1 prefetch generation iterates these).
+  std::vector<Entry*> valid_entries();
+
+  u32 capacity() const { return static_cast<u32>(entries_.size()); }
+
+ private:
+  std::vector<Entry> entries_;
+  u64 clock_ = 0;
+};
+
+}  // namespace caps

@@ -1,0 +1,20 @@
+#include "gpu/cta_distributor.hpp"
+
+#include <cassert>
+
+namespace caps {
+
+CtaDistributor::CtaDistributor(const Dim3& grid, u32 num_sms)
+    : grid_(grid), num_sms_(num_sms), total_(grid.count()) {
+  assert(num_sms_ > 0);
+  log_.reserve(total_);
+}
+
+Dim3 CtaDistributor::dispatch(u32 sm, Cycle now) {
+  assert(!all_dispatched());
+  const u32 flat = next_cta_++;
+  log_.push_back(CtaAssignment{flat, sm, now});
+  return unflatten(flat, grid_);
+}
+
+}  // namespace caps

@@ -1,0 +1,80 @@
+#include "gpu/gpu.hpp"
+
+namespace caps {
+
+Gpu::Gpu(const GpuConfig& cfg, const Kernel& kernel,
+         const SmPolicyFactories& policies, LoadTraceHook trace)
+    : cfg_(cfg),
+      kernel_(kernel),
+      mem_(cfg),
+      distributor_(kernel.grid(), cfg.num_sms) {
+  cfg_.validate();
+  for (u32 i = 0; i < cfg_.num_sms; ++i)
+    sms_.push_back(std::make_unique<StreamingMultiprocessor>(
+        cfg_, i, kernel_, mem_, policies, trace));
+}
+
+void Gpu::dispatch_ctas() {
+  // One pass per cycle: offer CTAs to SMs starting at the round-robin
+  // cursor. During the initial fill this hands out CTAs one at a time in SM
+  // order (Fig. 3); afterwards any SM with a freed slot gets the next CTA,
+  // i.e. assignment becomes demand-driven by CTA termination order.
+  u32 scanned = 0;
+  while (!distributor_.all_dispatched() && scanned < cfg_.num_sms) {
+    const u32 sm_id = distributor_.rr_cursor();
+    if (sms_[sm_id]->can_launch_cta()) {
+      const Dim3 cta = distributor_.dispatch(sm_id, cycle_);
+      const bool ok = sms_[sm_id]->launch_cta(cta, cycle_);
+      (void)ok;
+      scanned = 0;  // a launch may have opened room elsewhere; rescan
+    } else {
+      ++scanned;
+    }
+    distributor_.advance_cursor();
+  }
+}
+
+void Gpu::step() {
+  dispatch_ctas();
+  for (auto& sm : sms_) sm->cycle(cycle_);
+  mem_.cycle(cycle_);
+  ++cycle_;
+}
+
+bool Gpu::done() const {
+  if (!distributor_.all_dispatched()) return false;
+  for (const auto& sm : sms_)
+    if (sm->busy()) return false;
+  return mem_.idle();
+}
+
+GpuStats Gpu::run() {
+  // done() walks SMs and memory queues, so poll it on a coarse grain; the
+  // +-63 cycle slack on the final count is far below run-to-run relevance.
+  while (true) {
+    if ((cycle_ & 63) == 0 && done()) break;
+    if (cycle_ >= cfg_.max_cycles) {
+      hit_limit_ = true;
+      break;
+    }
+    step();
+  }
+  return collect_stats();
+}
+
+GpuStats Gpu::collect_stats() const {
+  GpuStats out;
+  out.cycles = cycle_;
+  out.hit_cycle_limit = hit_limit_;
+  for (const auto& sm : sms_) {
+    out.sm.merge(sm->stats());
+    out.pf_engine.merge(sm->prefetcher().engine_stats());
+  }
+  out.traffic = mem_.traffic();
+  out.dram = mem_.dram_stats();
+  out.l2 = mem_.l2_stats();
+  out.ctas_launched = distributor_.log().size();
+  return out;
+}
+
+}  // namespace caps

@@ -1,0 +1,85 @@
+// Top-level GPU: SM array + memory system + CTA distributor, clocked in
+// lockstep. Gpu::run() executes one kernel to completion and returns the
+// aggregated statistics every figure of the paper is computed from.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gpu/cta_distributor.hpp"
+#include "gpu/sm.hpp"
+#include "gpu/sm_stats.hpp"
+#include "isa/kernel.hpp"
+#include "mem/memory_system.hpp"
+
+namespace caps {
+
+/// Aggregated result of one simulation run.
+struct GpuStats {
+  Cycle cycles = 0;
+  bool hit_cycle_limit = false;
+  SmStats sm;             ///< summed over SMs
+  PrefetchEngineStats pf_engine;  ///< summed over SM prefetch engines
+  TrafficStats traffic;
+  DramStats dram;
+  L2Stats l2;
+  u64 ctas_launched = 0;
+
+  /// Thread-instruction IPC (warp instructions * warp size / cycles),
+  /// matching how GPGPU-Sim reports IPC.
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(sm.issued_instructions) *
+                             kWarpSize / static_cast<double>(cycles);
+  }
+  double l1_miss_rate() const { return ratio(sm.l1_misses, sm.l1_accesses); }
+  /// Prefetch coverage: issued prefetches over all demand fetches that
+  /// needed data from memory (remaining demand misses plus the fetches the
+  /// prefetcher serviced).
+  double pf_coverage() const {
+    return ratio(sm.pf_issued_to_mem,
+                 sm.demand_to_mem + sm.pf_useful + sm.pf_useful_late);
+  }
+  /// Prefetch accuracy: prefetches consumed by a demand / prefetches issued.
+  double pf_accuracy() const {
+    return ratio(sm.pf_useful + sm.pf_useful_late, sm.pf_issued_to_mem);
+  }
+  /// Early-prefetch ratio: prefetched lines evicted before use.
+  double pf_early_ratio() const {
+    return ratio(sm.pf_early_evicted,
+                 sm.pf_useful + sm.pf_useful_late + sm.pf_early_evicted);
+  }
+};
+
+class Gpu {
+ public:
+  Gpu(const GpuConfig& cfg, const Kernel& kernel,
+      const SmPolicyFactories& policies, LoadTraceHook trace = nullptr);
+
+  /// Run the kernel to completion (or the configured cycle limit).
+  GpuStats run();
+
+  /// Single-step interface for tests.
+  void step();
+  bool done() const;
+  Cycle now() const { return cycle_; }
+
+  const CtaDistributor& distributor() const { return distributor_; }
+  const StreamingMultiprocessor& sm(u32 i) const { return *sms_[i]; }
+  const MemorySystem& memory() const { return mem_; }
+  GpuStats collect_stats() const;
+
+ private:
+  void dispatch_ctas();
+
+  GpuConfig cfg_;
+  const Kernel& kernel_;
+  MemorySystem mem_;
+  std::vector<std::unique_ptr<StreamingMultiprocessor>> sms_;
+  CtaDistributor distributor_;
+  Cycle cycle_ = 0;
+  bool hit_limit_ = false;
+};
+
+}  // namespace caps

@@ -1,0 +1,247 @@
+#include "gpu/ldst_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/memory_system.hpp"
+
+namespace caps {
+
+LdStUnit::LdStUnit(const GpuConfig& cfg, u32 sm_id, MemorySystem& mem,
+                   SmStats& stats)
+    : cfg_(cfg),
+      sm_id_(sm_id),
+      mem_(mem),
+      stats_(stats),
+      l1_(cfg.l1d),
+      mshr_(cfg.l1d.mshr_entries, cfg.l1d.mshr_max_merged),
+      demand_q_(cfg.ldst_queue_size),
+      prefetch_q_(cfg.ldst_queue_size * 2) {}
+
+void LdStUnit::push_demand(const L1Access& access) {
+  assert(can_accept(1));
+  demand_q_.push(access);
+}
+
+void LdStUnit::push_prefetches(const std::vector<PrefetchRequest>& reqs,
+                               Cycle now) {
+  for (const PrefetchRequest& r : reqs) {
+    ++stats_.pf_generated;
+    if (prefetch_q_.full()) {
+      ++stats_.pf_dropped_queue_full;
+      continue;
+    }
+    // Deduplicate against queued prefetches for the same line.
+    bool dup = false;
+    for (const L1Access& q : prefetch_q_) {
+      if (q.line == r.line) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++stats_.pf_dropped_inflight;
+      continue;
+    }
+    L1Access a;
+    a.line = r.line;
+    a.pc = r.pc;
+    a.is_load = true;
+    a.is_prefetch = true;
+    a.warp_slot = r.target_warp_slot;
+    a.issue_cycle = now;
+    prefetch_q_.push(a);
+  }
+}
+
+void LdStUnit::complete_load(const L1Access& access, Cycle now) {
+  (void)now;
+  if (access.is_load && !access.is_prefetch && access.warp_slot != kNoWarp)
+    load_done_(static_cast<u32>(access.warp_slot));
+}
+
+void LdStUnit::process_replies(Cycle now) {
+  // Up to two fills per cycle (reply-network drain bandwidth at the SM).
+  for (u32 k = 0; k < 2; ++k) {
+    MemRequest reply;
+    if (!mem_.pop_reply(sm_id_, now, reply)) break;
+    const bool pf_entry = mshr_.is_prefetch_entry(reply.line);
+    std::vector<L1Access> waiters = mshr_.fill(reply.line);
+    assert(!waiters.empty());
+
+    // Determine line metadata: a prefetch-allocated entry with no merged
+    // demand keeps its prefetched bit; any merged demand consumes the data
+    // on arrival (late prefetch).
+    LineMeta meta;
+    bool any_demand = false;
+    const L1Access* pf_origin = nullptr;
+    for (const L1Access& w : waiters) {
+      if (w.is_prefetch)
+        pf_origin = &w;
+      else
+        any_demand = true;
+    }
+    if (pf_entry && pf_origin != nullptr) {
+      if (any_demand) {
+        ++stats_.pf_useful_late;
+        // Count late prefetches in the distance stat at half credit: the
+        // demand arrived before the data, so the covered gap is the
+        // request's in-flight window.
+        stats_.pf_distance.add(static_cast<double>(now - pf_origin->issue_cycle) / 2.0);
+      } else {
+        meta.prefetched = true;
+        meta.pf_issue_cycle = pf_origin->issue_cycle;
+        meta.pf_pc = pf_origin->pc;
+      }
+    }
+
+    auto evicted = l1_.fill(reply.line, meta);
+    if (evicted && evicted->second.prefetched) ++stats_.pf_early_evicted;
+
+    for (const L1Access& w : waiters) {
+      if (w.is_prefetch) continue;
+      stats_.demand_miss_latency.add(static_cast<double>(now - w.issue_cycle));
+      complete_load(w, now);
+    }
+
+    // Eager wake-up: notify the warp bound to a pure prefetch fill.
+    if (pf_entry && !any_demand && pf_origin != nullptr &&
+        pf_origin->warp_slot != kNoWarp && prefetch_fill_) {
+      prefetch_fill_(pf_origin->warp_slot);
+      ++stats_.pf_wakeups;
+    }
+  }
+}
+
+void LdStUnit::process_completions(Cycle now) {
+  while (!completions_.empty() && completions_.top().ready_at <= now) {
+    complete_load(completions_.top().access, now);
+    completions_.pop();
+  }
+}
+
+bool LdStUnit::process_demand(Cycle now) {
+  if (demand_q_.empty()) return false;
+  const L1Access access = demand_q_.front();
+
+  if (!access.is_load) {
+    // Write-through, no-allocate, non-blocking store.
+    if (!mem_.can_accept(access.line)) {
+      ++stats_.stall_xbar_full;
+      mem_.note_inject_stall();
+      return false;  // head blocked; tag port stays free this cycle
+    }
+    MemRequest req;
+    req.id = next_req_id_++;
+    req.line = access.line;
+    req.is_write = true;
+    req.sm_id = sm_id_;
+    req.created = now;
+    mem_.submit(req, now);
+    ++stats_.stores_to_mem;
+    demand_q_.pop();
+    return true;
+  }
+
+  // Accesses are counted once, when the probe completes (retries after a
+  // structural stall are not double counted).
+  if (l1_.access(access.line) == CacheOutcome::kHit) {
+    ++stats_.l1_accesses;
+    ++stats_.l1_hits;
+    LineMeta* meta = l1_.find_meta(access.line);
+    if (meta != nullptr && meta->prefetched) {
+      ++stats_.pf_useful;
+      stats_.pf_distance.add(static_cast<double>(now - meta->pf_issue_cycle));
+      meta->prefetched = false;  // consumed
+    }
+    completions_.push(Completion{now + cfg_.l1_hit_latency, access});
+    demand_q_.pop();
+    return true;
+  }
+
+  // Miss path.
+  if (mshr_.has(access.line)) {
+    if (!mshr_.can_merge(access.line)) {
+      ++stats_.stall_merge_full;
+      return false;
+    }
+    ++stats_.l1_accesses;
+    ++stats_.l1_misses;
+    ++stats_.l1_mshr_merges;
+    if (mshr_.is_prefetch_entry(access.line)) {
+      // Demand caught up with an in-flight prefetch: late-useful accounting
+      // happens at fill time; nothing to do here.
+    }
+    mshr_.merge(access.line, access);
+    demand_q_.pop();
+    return true;
+  }
+  if (mshr_.full()) {
+    ++stats_.stall_mshr_full;
+    return false;
+  }
+  if (!mem_.can_accept(access.line)) {
+    ++stats_.stall_xbar_full;
+    mem_.note_inject_stall();
+    return false;
+  }
+  ++stats_.l1_accesses;
+  ++stats_.l1_misses;
+  ++stats_.demand_to_mem;
+  if (miss_observer_) miss_observer_(access.line, access.pc, access.warp_slot);
+  mshr_.allocate(access.line, access, /*by_prefetch=*/false);
+  MemRequest req;
+  req.id = next_req_id_++;
+  req.line = access.line;
+  req.sm_id = sm_id_;
+  req.created = now;
+  mem_.submit(req, now);
+  demand_q_.pop();
+  return true;
+}
+
+void LdStUnit::process_prefetch(Cycle now) {
+  if (prefetch_q_.empty()) return;
+  const L1Access& head = prefetch_q_.front();
+
+  if (l1_.contains(head.line)) {
+    ++stats_.pf_dropped_hit;
+    prefetch_q_.pop();
+    return;
+  }
+  if (mshr_.has(head.line)) {
+    ++stats_.pf_dropped_inflight;
+    prefetch_q_.pop();
+    return;
+  }
+  if (mshr_.full() || !mem_.can_accept(head.line)) {
+    // Structural backpressure: keep the head and retry; newly generated
+    // prefetches are dropped upstream when the queue overflows.
+    ++stats_.pf_stall_structural;
+    return;
+  }
+  const L1Access access = prefetch_q_.pop();
+  mshr_.allocate(access.line, access, /*by_prefetch=*/true);
+  MemRequest req;
+  req.id = next_req_id_++;
+  req.line = access.line;
+  req.sm_id = sm_id_;
+  req.created = now;
+  req.is_prefetch = true;
+  mem_.submit(req, now);
+  ++stats_.pf_issued_to_mem;
+}
+
+void LdStUnit::cycle(Cycle now) {
+  process_replies(now);
+  process_completions(now);
+  // One L1 port: demand first, prefetch only when the demand queue is idle.
+  if (!process_demand(now)) process_prefetch(now);
+}
+
+bool LdStUnit::idle() const {
+  return demand_q_.empty() && prefetch_q_.empty() && completions_.empty() &&
+         mshr_.size() == 0;
+}
+
+}  // namespace caps

@@ -1,0 +1,94 @@
+// LD/ST unit: the SM-side L1 data cache controller.
+//
+// Demand line requests from warps queue here; one L1 tag access per cycle;
+// prefetch requests use the port only when no demand is waiting (lower
+// priority, Section V). Misses allocate/merge MSHR entries and go to the
+// memory system; MSHR-full or crossbar-full block the queue head, which is
+// what produces the whole-SM bursty stalls the paper measures.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "gpu/sm_stats.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory_request.hpp"
+#include "mem/mshr.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace caps {
+
+class MemorySystem;
+
+class LdStUnit {
+ public:
+  LdStUnit(const GpuConfig& cfg, u32 sm_id, MemorySystem& mem, SmStats& stats);
+
+  /// Room in the demand queue for `n` more line accesses?
+  bool can_accept(u32 n) const {
+    return demand_q_.size() + n <= demand_q_.capacity();
+  }
+
+  void push_demand(const L1Access& access);
+
+  /// Enqueue engine-generated prefetches (deduplicated against the queue;
+  /// dropped with accounting when the prefetch queue is full).
+  void push_prefetches(const std::vector<PrefetchRequest>& reqs, Cycle now);
+
+  /// Advance one cycle: drain replies, then one L1 port access.
+  void cycle(Cycle now);
+
+  /// Demand-load completion callback: (warp_slot). Fired once per completed
+  /// line access; the SM decrements the warp's outstanding counter.
+  void set_load_done(std::function<void(u32)> cb) { load_done_ = std::move(cb); }
+  /// Eager wake-up callback: (warp_slot) when a bound prefetch fills L1.
+  void set_prefetch_fill(std::function<void(i32)> cb) {
+    prefetch_fill_ = std::move(cb);
+  }
+  /// Demand-miss observer (drives NLP/LAP engines).
+  void set_miss_observer(std::function<void(Addr, Addr, i32)> cb) {
+    miss_observer_ = std::move(cb);
+  }
+
+  bool idle() const;
+  std::size_t demand_queue_size() const { return demand_q_.size(); }
+  const SetAssocCache& l1() const { return l1_; }
+
+ private:
+  void process_replies(Cycle now);
+  void process_completions(Cycle now);
+  bool process_demand(Cycle now);  ///< returns true if the port was used
+  void process_prefetch(Cycle now);
+  void complete_load(const L1Access& access, Cycle now);
+
+  const GpuConfig& cfg_;
+  u32 sm_id_;
+  MemorySystem& mem_;
+  SmStats& stats_;
+
+  SetAssocCache l1_;
+  Mshr<L1Access> mshr_;
+  BoundedQueue<L1Access> demand_q_;
+  BoundedQueue<L1Access> prefetch_q_;
+
+  /// L1-hit completions in flight: (ready cycle, access).
+  struct Completion {
+    Cycle ready_at;
+    L1Access access;
+    bool operator>(const Completion& o) const { return ready_at > o.ready_at; }
+  };
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions_;
+
+  std::function<void(u32)> load_done_;
+  std::function<void(i32)> prefetch_fill_;
+  std::function<void(Addr, Addr, i32)> miss_observer_;
+
+  u64 next_req_id_ = 1;
+};
+
+}  // namespace caps

@@ -1,0 +1,175 @@
+#include "gpu/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace caps {
+
+// ---------------------------------------------------------------- LRR ----
+
+i32 LrrScheduler::pick(Cycle now) {
+  const u32 n = cfg_.max_warps_per_sm;
+  for (u32 i = 0; i < n; ++i) {
+    const u32 slot = (rr_ + 1 + i) % n;
+    if (warps_[slot].runnable() && eligible_(slot, now)) {
+      rr_ = slot;
+      return static_cast<i32>(slot);
+    }
+  }
+  return kNoWarp;
+}
+
+// ---------------------------------------------------------------- GTO ----
+
+void GtoScheduler::on_warp_done(u32 slot) {
+  if (greedy_ == static_cast<i32>(slot)) greedy_ = kNoWarp;
+}
+
+i32 GtoScheduler::pick(Cycle now) {
+  if (greedy_ != kNoWarp && warps_[greedy_].runnable() &&
+      eligible_(static_cast<u32>(greedy_), now))
+    return greedy_;
+  // Oldest eligible warp by launch order.
+  i32 best = kNoWarp;
+  u64 best_age = ~0ULL;
+  for (u32 slot = 0; slot < cfg_.max_warps_per_sm; ++slot) {
+    if (!warps_[slot].runnable() || !eligible_(slot, now)) continue;
+    if (warps_[slot].launch_order < best_age) {
+      best_age = warps_[slot].launch_order;
+      best = static_cast<i32>(slot);
+    }
+  }
+  greedy_ = best;
+  return best;
+}
+
+// ---------------------------------------------------------- Two-level ----
+
+void TwoLevelScheduler::on_cta_launch(u32 /*cta_slot*/, u32 first_warp,
+                                      u32 num_warps) {
+  for (u32 w = first_warp; w < first_warp + num_warps; ++w) {
+    if (ready_.size() < cfg_.ready_queue_size)
+      enqueue_ready(w, /*to_front=*/false);
+    else
+      pending_.push_back(w);
+  }
+}
+
+void TwoLevelScheduler::on_warp_done(u32 slot) {
+  erase_from(ready_, slot);
+  erase_from(pending_, slot);
+}
+
+bool TwoLevelScheduler::in_ready(u32 slot) const {
+  return std::find(ready_.begin(), ready_.end(), slot) != ready_.end();
+}
+
+void TwoLevelScheduler::erase_from(std::deque<u32>& q, u32 slot) {
+  auto it = std::find(q.begin(), q.end(), slot);
+  if (it != q.end()) q.erase(it);
+}
+
+void TwoLevelScheduler::enqueue_ready(u32 slot, bool to_front) {
+  if (to_front)
+    ready_.push_front(slot);
+  else
+    ready_.push_back(slot);
+}
+
+i32 TwoLevelScheduler::next_promotion(Cycle /*now*/) {
+  // FIFO, skipping warps still blocked on memory.
+  for (u32 i = 0; i < pending_.size(); ++i) {
+    const u32 slot = pending_[i];
+    if (warps_[slot].runnable() && !waiting_mem_(slot))
+      return static_cast<i32>(i);
+  }
+  return -1;
+}
+
+void TwoLevelScheduler::maintain(Cycle now) {
+  // Demote ready warps that stalled on memory or are parked at a barrier.
+  // Barrier warps MUST leave the ready queue: the warps that will release
+  // the barrier may be waiting in the pending queue, and holding ready
+  // slots for blocked warps would deadlock the CTA.
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    const u32 slot = *it;
+    const bool at_barrier = warps_[slot].status == WarpStatus::kAtBarrier;
+    if ((warps_[slot].runnable() && waiting_mem_(slot)) || at_barrier) {
+      it = ready_.erase(it);
+      pending_.push_back(slot);
+    } else {
+      ++it;
+    }
+  }
+  // Refill from pending.
+  while (ready_.size() < cfg_.ready_queue_size) {
+    const i32 idx = next_promotion(now);
+    if (idx < 0) break;
+    const u32 slot = pending_[static_cast<u32>(idx)];
+    pending_.erase(pending_.begin() + idx);
+    enqueue_ready(slot, /*to_front=*/false);
+  }
+}
+
+i32 TwoLevelScheduler::pick(Cycle now) {
+  maintain(now);
+  if (ready_.empty()) return kNoWarp;
+  // Move-to-back round robin: scan from the front, rotate the issued warp
+  // to the back. Front insertions (PAS leading warps) are thereby the
+  // highest-priority next picks, and fairness is stable under the queue
+  // churn that demotion/promotion causes.
+  const u32 n = static_cast<u32>(ready_.size());
+  for (u32 i = 0; i < n; ++i) {
+    const u32 slot = ready_.front();
+    ready_.pop_front();
+    ready_.push_back(slot);
+    if (warps_[slot].runnable() && eligible_(slot, now))
+      return static_cast<i32>(slot);
+  }
+  return kNoWarp;
+}
+
+// --------------------------------------------------------------- ORCH ----
+
+i32 OrchScheduler::next_promotion(Cycle /*now*/) {
+  // Group 0 (even warp-in-CTA) first so consecutive warps land in different
+  // scheduling groups; FIFO within a group.
+  for (u32 pass = 0; pass < 2; ++pass) {
+    for (u32 i = 0; i < pending_.size(); ++i) {
+      const u32 slot = pending_[i];
+      if (!warps_[slot].runnable() || waiting_mem_(slot)) continue;
+      if ((warps_[slot].warp_in_cta % 2) == pass) return static_cast<i32>(i);
+    }
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------- factory ----
+
+std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, const GpuConfig& cfg, std::vector<WarpContext>& warps,
+    std::function<bool(u32, Cycle)> eligible,
+    std::function<bool(u32)> waiting_mem) {
+  switch (kind) {
+    case SchedulerKind::kLrr:
+      return std::make_unique<LrrScheduler>(cfg, warps, std::move(eligible),
+                                            std::move(waiting_mem));
+    case SchedulerKind::kGto:
+      return std::make_unique<GtoScheduler>(cfg, warps, std::move(eligible),
+                                            std::move(waiting_mem));
+    case SchedulerKind::kTwoLevel:
+      return std::make_unique<TwoLevelScheduler>(
+          cfg, warps, std::move(eligible), std::move(waiting_mem));
+    case SchedulerKind::kOrch:
+      return std::make_unique<OrchScheduler>(cfg, warps, std::move(eligible),
+                                             std::move(waiting_mem));
+    case SchedulerKind::kPas:
+      // PAS is constructed by the SM via core/pas_scheduler.hpp to avoid a
+      // gpu -> core dependency cycle; reaching here is a wiring bug.
+      break;
+  }
+  assert(false && "make_scheduler: unsupported kind");
+  return nullptr;
+}
+
+}  // namespace caps

@@ -1,0 +1,128 @@
+// Warp-scheduler framework.
+//
+// The SM calls pick() up to issue_width times per cycle; the scheduler
+// returns an issue-eligible warp slot under its policy. Eligibility (ready
+// time, memory dependence, barrier state) is supplied by the SM through a
+// predicate so policies stay purely about ordering.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gpu/warp.hpp"
+
+namespace caps {
+
+class Scheduler {
+ public:
+  /// @param eligible   true if the warp slot may issue this cycle
+  /// @param waiting_mem true if the warp is stalled on outstanding loads
+  ///                    (the two-level demotion criterion)
+  Scheduler(const GpuConfig& cfg, std::vector<WarpContext>& warps,
+            std::function<bool(u32, Cycle)> eligible,
+            std::function<bool(u32)> waiting_mem)
+      : cfg_(cfg),
+        warps_(warps),
+        eligible_(std::move(eligible)),
+        waiting_mem_(std::move(waiting_mem)) {}
+  virtual ~Scheduler() = default;
+
+  virtual void on_cta_launch(u32 cta_slot, u32 first_warp, u32 num_warps) = 0;
+  virtual void on_warp_done(u32 /*slot*/) {}
+  /// All outstanding loads of `slot` completed.
+  virtual void on_loads_complete(u32 /*slot*/) {}
+  /// A prefetch bound to `slot` filled L1 (PAS eager wake-up).
+  virtual void on_prefetch_fill(u32 /*slot*/) {}
+
+  /// Select one warp to issue, or kNoWarp. Called up to issue_width times
+  /// per cycle; each returned warp is issued immediately by the SM.
+  virtual i32 pick(Cycle now) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  const GpuConfig& cfg_;
+  std::vector<WarpContext>& warps_;
+  std::function<bool(u32, Cycle)> eligible_;
+  std::function<bool(u32)> waiting_mem_;
+};
+
+/// Loose round-robin over all active warp slots.
+class LrrScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  void on_cta_launch(u32, u32, u32) override {}
+  i32 pick(Cycle now) override;
+  const char* name() const override { return "LRR"; }
+
+ private:
+  u32 rr_ = 0;
+};
+
+/// Greedy-then-oldest: keep issuing the current warp until it stalls, then
+/// fall back to the oldest (by launch order) eligible warp.
+class GtoScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  void on_cta_launch(u32, u32, u32) override {}
+  void on_warp_done(u32 slot) override;
+  i32 pick(Cycle now) override;
+  const char* name() const override { return "GTO"; }
+
+ private:
+  i32 greedy_ = kNoWarp;
+};
+
+/// Two-level scheduler [1,2]: a small ready queue is scheduled round-robin;
+/// warps that stall on memory are demoted to the pending queue and promoted
+/// back (FIFO) once their loads return.
+class TwoLevelScheduler : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  void on_cta_launch(u32 cta_slot, u32 first_warp, u32 num_warps) override;
+  void on_warp_done(u32 slot) override;
+  i32 pick(Cycle now) override;
+  const char* name() const override { return "TLV"; }
+
+  // Test introspection.
+  const std::deque<u32>& ready_queue() const { return ready_; }
+  const std::deque<u32>& pending_queue() const { return pending_; }
+
+ protected:
+  /// Demote memory-stalled/finished warps, then refill ready slots.
+  void maintain(Cycle now);
+  /// Pick the next pending warp to promote; returns index into pending_ or
+  /// -1. Subclasses override to change promotion order (PAS, ORCH).
+  virtual i32 next_promotion(Cycle now);
+  /// Where a newly launched/promoted warp enters the ready queue.
+  virtual void enqueue_ready(u32 slot, bool to_front);
+
+  bool in_ready(u32 slot) const;
+  void erase_from(std::deque<u32>& q, u32 slot);
+
+  std::deque<u32> ready_;
+  std::deque<u32> pending_;
+};
+
+/// Two-level variant used with the ORCH prefetcher [17]: promotion
+/// interleaves consecutive warps into different scheduling groups (even
+/// warp-in-CTA indices first) so one group prefetches for the other.
+class OrchScheduler final : public TwoLevelScheduler {
+ public:
+  using TwoLevelScheduler::TwoLevelScheduler;
+  const char* name() const override { return "ORCH-SCHED"; }
+
+ protected:
+  i32 next_promotion(Cycle now) override;
+};
+
+/// Factory for the baseline schedulers (PAS lives in core/pas_scheduler.hpp).
+std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, const GpuConfig& cfg, std::vector<WarpContext>& warps,
+    std::function<bool(u32, Cycle)> eligible,
+    std::function<bool(u32)> waiting_mem);
+
+}  // namespace caps

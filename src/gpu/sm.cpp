@@ -1,0 +1,289 @@
+#include "gpu/sm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/memory_system.hpp"
+
+namespace caps {
+
+StreamingMultiprocessor::StreamingMultiprocessor(
+    const GpuConfig& cfg, u32 id, const Kernel& kernel, MemorySystem& mem,
+    const SmPolicyFactories& policies, LoadTraceHook trace)
+    : cfg_(cfg),
+      id_(id),
+      kernel_(kernel),
+      ldst_(cfg, id, mem, stats_),
+      coalescer_(cfg.l1d.line_size),
+      warps_(cfg.max_warps_per_sm),
+      ctas_(cfg.max_ctas_per_sm),
+      trace_(std::move(trace)) {
+  const u32 wpc = kernel.warps_per_cta();
+  max_concurrent_ctas_ =
+      std::min(cfg.max_ctas_per_sm, cfg.max_warps_per_sm / wpc);
+  assert(max_concurrent_ctas_ > 0 && "kernel CTA too large for this SM");
+  for (u32 b = 0; b < max_concurrent_ctas_; ++b)
+    free_warp_blocks_.push_back(b * wpc);
+  // Hand out in ascending slot order.
+  std::reverse(free_warp_blocks_.begin(), free_warp_blocks_.end());
+
+  prefetcher_ = policies.make_prefetcher(cfg);
+  scheduler_ = policies.make_scheduler(
+      cfg, warps_,
+      [this](u32 slot, Cycle now) { return warp_eligible(slot, now); },
+      [this](u32 slot) { return warp_waiting_mem(slot); });
+
+  ldst_.set_load_done([this](u32 slot) { on_load_done(slot); });
+  ldst_.set_prefetch_fill([this](i32 slot) {
+    if (slot != kNoWarp && warps_[slot].status == WarpStatus::kActive)
+      scheduler_->on_prefetch_fill(static_cast<u32>(slot));
+  });
+  ldst_.set_miss_observer([this](Addr line, Addr pc, i32 warp_slot) {
+    pf_buffer_.clear();
+    prefetcher_->on_demand_miss(line, pc, warp_slot, pf_buffer_);
+    if (!pf_buffer_.empty()) ldst_.push_prefetches(pf_buffer_, 0);
+  });
+}
+
+bool StreamingMultiprocessor::launch_cta(const Dim3& cta_id, Cycle now) {
+  if (!can_launch_cta()) return false;
+  // Find a free CTA slot.
+  u32 cta_slot = cfg_.max_ctas_per_sm;
+  for (u32 c = 0; c < ctas_.size(); ++c) {
+    if (!ctas_[c].active) {
+      cta_slot = c;
+      break;
+    }
+  }
+  assert(cta_slot < cfg_.max_ctas_per_sm);
+  assert(!free_warp_blocks_.empty());
+  const u32 first_warp = free_warp_blocks_.back();
+  free_warp_blocks_.pop_back();
+
+  const u32 wpc = kernel_.warps_per_cta();
+  CtaSlot& cta = ctas_[cta_slot];
+  cta.active = true;
+  cta.cta_id = cta_id;
+  cta.first_warp_slot = first_warp;
+  cta.num_warps = wpc;
+  cta.warps_done = 0;
+  cta.barrier_arrived = 0;
+  cta.launch_cycle = now;
+
+  for (u32 w = 0; w < wpc; ++w) {
+    WarpContext& wc = warps_[first_warp + w];
+    wc = WarpContext{};
+    wc.status = WarpStatus::kActive;
+    wc.cta_slot = cta_slot;
+    wc.warp_in_cta = w;
+    wc.cta_id = cta_id;
+    wc.ready_at = now;
+    wc.launch_order = launch_counter_++;
+  }
+  ++resident_ctas_;
+  resident_warps_ += wpc;
+  prefetcher_->on_cta_launch(cta_slot, cta_id, first_warp, wpc);
+  scheduler_->on_cta_launch(cta_slot, first_warp, wpc);
+  return true;
+}
+
+bool StreamingMultiprocessor::warp_eligible(u32 slot, Cycle now) const {
+  const WarpContext& wc = warps_[slot];
+  if (wc.status != WarpStatus::kActive || wc.ready_at > now) return false;
+  const Instruction& ins = kernel_.instruction(wc.pc_idx);
+  if (ins.waits_mem && wc.outstanding_loads > 0) return false;
+  return true;
+}
+
+bool StreamingMultiprocessor::warp_waiting_mem(u32 slot) const {
+  const WarpContext& wc = warps_[slot];
+  if (wc.status != WarpStatus::kActive) return false;
+  const Instruction& ins = kernel_.instruction(wc.pc_idx);
+  return ins.waits_mem && wc.outstanding_loads > 0;
+}
+
+void StreamingMultiprocessor::on_load_done(u32 slot) {
+  WarpContext& wc = warps_[slot];
+  assert(wc.outstanding_loads > 0);
+  if (--wc.outstanding_loads == 0) scheduler_->on_loads_complete(slot);
+}
+
+void StreamingMultiprocessor::arrive_barrier(u32 slot, Cycle now) {
+  WarpContext& wc = warps_[slot];
+  CtaSlot& cta = ctas_[wc.cta_slot];
+  ++wc.pc_idx;  // retire the barrier; warp resumes past it
+  if (++cta.barrier_arrived == cta.num_warps) {
+    cta.barrier_arrived = 0;
+    for (u32 w = cta.first_warp_slot; w < cta.first_warp_slot + cta.num_warps;
+         ++w) {
+      if (warps_[w].status == WarpStatus::kAtBarrier)
+        warps_[w].status = WarpStatus::kActive;
+      warps_[w].ready_at = now + 1;
+    }
+  } else {
+    wc.status = WarpStatus::kAtBarrier;
+  }
+}
+
+void StreamingMultiprocessor::finish_warp(u32 slot, Cycle now) {
+  WarpContext& wc = warps_[slot];
+  wc.status = WarpStatus::kDone;
+  --resident_warps_;
+  scheduler_->on_warp_done(slot);
+  CtaSlot& cta = ctas_[wc.cta_slot];
+  if (++cta.warps_done == cta.num_warps) {
+    cta.active = false;
+    free_warp_blocks_.push_back(cta.first_warp_slot);
+    --resident_ctas_;
+    ++stats_.ctas_completed;
+    prefetcher_->on_cta_complete(wc.cta_slot);
+    (void)now;
+  }
+}
+
+void StreamingMultiprocessor::issue_memory(u32 slot, const Instruction& ins,
+                                           std::vector<Addr> lines,
+                                           Cycle now) {
+  WarpContext& wc = warps_[slot];
+  const u32 cta_flat = flatten(wc.cta_id, kernel_.grid());
+  assert(!lines.empty());
+
+  for (const Addr line : lines) {
+    L1Access a;
+    a.line = line;
+    a.pc = ins.pc;
+    a.is_load = ins.is_load;
+    a.warp_slot = static_cast<i32>(slot);
+    a.issue_cycle = now;
+    ldst_.push_demand(a);
+  }
+  if (ins.is_load) wc.outstanding_loads += static_cast<u32>(lines.size());
+
+  if (trace_ && ins.is_load) {
+    trace_(LoadTraceEvent{id_, ins.pc, cta_flat, wc.cta_id, wc.warp_in_cta,
+                          slot, lines.front(), static_cast<u32>(lines.size()),
+                          now});
+  }
+
+  // Let the prefetch engine observe the issue.
+  const CtaSlot& cta = ctas_[wc.cta_slot];
+  LoadIssueInfo info;
+  info.pc = ins.pc;
+  info.sm_id = id_;
+  info.cta_slot = wc.cta_slot;
+  info.cta_id = wc.cta_id;
+  info.warp_slot = slot;
+  info.warp_in_cta = wc.warp_in_cta;
+  info.warps_in_cta = cta.num_warps;
+  info.lines = lines;
+  info.is_load = ins.is_load;
+  info.indirect = ins.addr.indirect;
+  info.iteration = wc.current_iteration();
+  info.cycle = now;
+  pf_buffer_.clear();
+  prefetcher_->on_load_issue(info, pf_buffer_);
+  if (!pf_buffer_.empty()) ldst_.push_prefetches(pf_buffer_, now);
+
+  // Leading-warp priority is only needed until the base address is
+  // computed (Section V-A): after its first global access the warp
+  // competes like any other.
+  wc.leading = false;
+
+  // Address generation + access throughput: one line per cycle.
+  wc.ready_at = now + std::max<u64>(1, lines.size());
+  ++wc.pc_idx;
+}
+
+bool StreamingMultiprocessor::issue(u32 slot, Cycle now) {
+  WarpContext& wc = warps_[slot];
+  const Instruction& ins = kernel_.instruction(wc.pc_idx);
+
+  switch (ins.op) {
+    case Opcode::kAlu:
+    case Opcode::kSfu: {
+      const u32 lat = ins.latency != 0
+                          ? ins.latency
+                          : (ins.op == Opcode::kAlu ? cfg_.alu_latency
+                                                    : cfg_.sfu_latency);
+      wc.ready_at = now + (ins.dep_next ? lat : 1);
+      ++wc.pc_idx;
+      break;
+    }
+    case Opcode::kShared:
+      wc.ready_at = now + (ins.dep_next ? cfg_.shared_mem_latency : 2);
+      ++wc.pc_idx;
+      break;
+    case Opcode::kMem: {
+      std::vector<Addr> lines = coalescer_.coalesce(
+          ins.addr, kernel_.block(), wc.cta_id, flatten(wc.cta_id, kernel_.grid()),
+          wc.warp_in_cta, wc.current_iteration());
+      if (!ldst_.can_accept(static_cast<u32>(lines.size()))) {
+        ++stats_.stall_ldst_full;
+        return false;
+      }
+      issue_memory(slot, ins, std::move(lines), now);
+      break;
+    }
+    case Opcode::kBarrier:
+      arrive_barrier(slot, now);
+      break;
+    case Opcode::kLoopBegin:
+      wc.loops.push_back(LoopFrame{wc.pc_idx, ins.trip_count, 0});
+      ++wc.pc_idx;
+      wc.ready_at = now + 1;
+      break;
+    case Opcode::kLoopEnd: {
+      assert(!wc.loops.empty());
+      LoopFrame& frame = wc.loops.back();
+      ++frame.iter;
+      if (--frame.remaining > 0) {
+        wc.pc_idx = frame.begin_idx + 1;
+      } else {
+        wc.loops.pop_back();
+        ++wc.pc_idx;
+      }
+      wc.ready_at = now + 1;
+      break;
+    }
+    case Opcode::kExit:
+      ++wc.instructions_retired;
+      ++stats_.issued_instructions;
+      finish_warp(slot, now);
+      return true;
+  }
+  ++wc.instructions_retired;
+  ++stats_.issued_instructions;
+  if (wc.ready_at <= now) wc.ready_at = now + 1;
+  return true;
+}
+
+void StreamingMultiprocessor::cycle(Cycle now) {
+  ldst_.cycle(now);
+
+  if (resident_warps_ == 0) return;
+  ++stats_.active_cycles;
+  stats_.issue_slots += cfg_.issue_width;
+
+  u32 issued = 0;
+  for (u32 i = 0; i < cfg_.issue_width; ++i) {
+    const i32 slot = scheduler_->pick(now);
+    if (slot == kNoWarp) break;
+    if (!issue(static_cast<u32>(slot), now)) break;  // structural stall
+    ++issued;
+  }
+  if (issued == 0) {
+    // Whole-SM stall; attribute it to memory if any warp waits on loads.
+    for (u32 s = 0; s < warps_.size(); ++s) {
+      if (warp_waiting_mem(s)) {
+        ++stats_.stall_cycles_all_mem;
+        break;
+      }
+    }
+  }
+}
+
+bool StreamingMultiprocessor::busy() const {
+  return resident_warps_ > 0 || !ldst_.idle();
+}
+
+}  // namespace caps

@@ -1,0 +1,104 @@
+// Streaming multiprocessor: warp contexts, CTA slots, issue logic, and the
+// LD/ST unit. Policy objects (scheduler, prefetch engine) are injected so
+// the same SM model runs every configuration in the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "gpu/coalescer.hpp"
+#include "gpu/ldst_unit.hpp"
+#include "gpu/scheduler.hpp"
+#include "gpu/sm_stats.hpp"
+#include "gpu/warp.hpp"
+#include "isa/kernel.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace caps {
+
+class MemorySystem;
+
+/// Observer invoked on every global-load issue (drives Fig. 1 / Fig. 4
+/// analyses). Kept as a separate lightweight struct so harness code can
+/// subscribe without touching the SM.
+struct LoadTraceEvent {
+  u32 sm_id;
+  Addr pc;
+  u32 cta_flat;
+  Dim3 cta_id;
+  u32 warp_in_cta;
+  u32 warp_slot;
+  Addr first_line;
+  u32 num_lines;
+  Cycle cycle;
+};
+using LoadTraceHook = std::function<void(const LoadTraceEvent&)>;
+
+/// Builds the policy objects for one SM.
+struct SmPolicyFactories {
+  std::function<std::unique_ptr<Scheduler>(
+      const GpuConfig&, std::vector<WarpContext>&,
+      std::function<bool(u32, Cycle)>, std::function<bool(u32)>)>
+      make_scheduler;
+  std::function<std::unique_ptr<Prefetcher>(const GpuConfig&)> make_prefetcher;
+};
+
+class StreamingMultiprocessor {
+ public:
+  StreamingMultiprocessor(const GpuConfig& cfg, u32 id, const Kernel& kernel,
+                          MemorySystem& mem, const SmPolicyFactories& policies,
+                          LoadTraceHook trace = nullptr);
+
+  /// Maximum CTAs this SM can hold for this kernel (resource limit).
+  u32 max_concurrent_ctas() const { return max_concurrent_ctas_; }
+  u32 resident_ctas() const { return resident_ctas_; }
+  bool can_launch_cta() const { return resident_ctas_ < max_concurrent_ctas_; }
+
+  /// Launch a CTA; returns false if no slot is free.
+  bool launch_cta(const Dim3& cta_id, Cycle now);
+
+  void cycle(Cycle now);
+
+  /// True while any warp is resident or memory operations are in flight.
+  bool busy() const;
+
+  const SmStats& stats() const { return stats_; }
+  const Prefetcher& prefetcher() const { return *prefetcher_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+  const LdStUnit& ldst() const { return ldst_; }
+
+ private:
+  bool warp_eligible(u32 slot, Cycle now) const;
+  bool warp_waiting_mem(u32 slot) const;
+  /// Attempt to issue one instruction from `slot`; returns false on a
+  /// structural hazard (the issue slot is wasted, as in hardware).
+  bool issue(u32 slot, Cycle now);
+  void issue_memory(u32 slot, const Instruction& ins,
+                    std::vector<Addr> lines, Cycle now);
+  void arrive_barrier(u32 slot, Cycle now);
+  void finish_warp(u32 slot, Cycle now);
+  void on_load_done(u32 slot);
+
+  const GpuConfig& cfg_;
+  u32 id_;
+  const Kernel& kernel_;
+  SmStats stats_;
+  LdStUnit ldst_;
+  Coalescer coalescer_;
+  std::vector<WarpContext> warps_;
+  std::vector<CtaSlot> ctas_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  std::unique_ptr<Scheduler> scheduler_;
+  LoadTraceHook trace_;
+
+  u32 max_concurrent_ctas_ = 0;
+  u32 resident_ctas_ = 0;
+  u32 resident_warps_ = 0;
+  u64 launch_counter_ = 0;
+  std::vector<u32> free_warp_blocks_;  ///< first-warp slots of free regions
+  std::vector<PrefetchRequest> pf_buffer_;
+};
+
+}  // namespace caps

@@ -1,0 +1,49 @@
+// Per-SM statistics. Aggregated by Gpu into GpuStats at end of run.
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace caps {
+
+struct SmStats {
+  // Pipeline.
+  u64 active_cycles = 0;        ///< cycles with >=1 warp resident
+  u64 issued_instructions = 0;  ///< warp instructions issued
+  u64 issue_slots = 0;          ///< issue opportunities (active_cycles*width)
+  u64 stall_cycles_all_mem = 0; ///< no warp eligible & >=1 waiting on memory
+  u64 stall_ldst_full = 0;      ///< issue lost: LD/ST queue had no room
+  u64 ctas_completed = 0;
+
+  // L1D demand path.
+  u64 l1_accesses = 0;
+  u64 l1_hits = 0;
+  u64 l1_misses = 0;            ///< primary + secondary
+  u64 l1_mshr_merges = 0;
+  u64 demand_to_mem = 0;        ///< primary demand misses sent downstream
+  u64 stores_to_mem = 0;
+  u64 stall_mshr_full = 0;
+  u64 stall_merge_full = 0;
+  u64 stall_xbar_full = 0;
+
+  // Prefetch path.
+  u64 pf_generated = 0;          ///< requests produced by the engine
+  u64 pf_dropped_queue_full = 0;
+  u64 pf_dropped_hit = 0;        ///< already in L1
+  u64 pf_dropped_inflight = 0;   ///< already in an MSHR
+  u64 pf_stall_structural = 0;   ///< head-of-queue retry cycles (MSHR/xbar full)
+  u64 pf_issued_to_mem = 0;
+  u64 pf_useful = 0;             ///< demand hit on a prefetched line
+  u64 pf_useful_late = 0;        ///< demand merged into an in-flight prefetch
+  u64 pf_early_evicted = 0;      ///< evicted before any demand use
+  u64 pf_mispredicted = 0;       ///< engine-detected wrong predictions (CAPS)
+  u64 pf_wakeups = 0;            ///< eager warp wake-ups delivered
+  RunningStat pf_distance;       ///< issue->demand cycles of useful prefetches
+
+  // Memory latency observed by demand loads (miss path only).
+  RunningStat demand_miss_latency;
+
+  void merge(const SmStats& o);
+};
+
+}  // namespace caps

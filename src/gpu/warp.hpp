@@ -1,0 +1,54 @@
+// Per-warp and per-CTA execution state inside an SM.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+enum class WarpStatus : u8 {
+  kInvalid,    ///< slot not in use
+  kActive,     ///< executing
+  kAtBarrier,  ///< waiting at a CTA barrier
+  kDone,       ///< ran EXIT
+};
+
+struct LoopFrame {
+  u32 begin_idx = 0;  ///< instruction index of kLoopBegin
+  u32 remaining = 0;  ///< iterations left (including current)
+  u32 iter = 0;       ///< completed iterations (0 on first pass)
+};
+
+struct WarpContext {
+  WarpStatus status = WarpStatus::kInvalid;
+  u32 cta_slot = 0;
+  u32 warp_in_cta = 0;
+  Dim3 cta_id{};
+  u32 pc_idx = 0;               ///< index into the kernel instruction vector
+  Cycle ready_at = 0;           ///< earliest cycle the warp may issue again
+  u32 outstanding_loads = 0;    ///< in-flight coalesced line loads
+  std::vector<LoopFrame> loops;
+  bool leading = false;         ///< PAS leading-warp marker
+  u64 launch_order = 0;         ///< global age for GTO
+  u64 instructions_retired = 0;
+
+  bool runnable() const { return status == WarpStatus::kActive; }
+
+  /// Innermost-loop iteration counter (0 outside loops).
+  u32 current_iteration() const {
+    return loops.empty() ? 0 : loops.back().iter;
+  }
+};
+
+struct CtaSlot {
+  bool active = false;
+  Dim3 cta_id{};
+  u32 first_warp_slot = 0;
+  u32 num_warps = 0;
+  u32 warps_done = 0;
+  u32 barrier_arrived = 0;
+  Cycle launch_cycle = 0;
+};
+
+}  // namespace caps

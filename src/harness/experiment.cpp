@@ -1,0 +1,86 @@
+#include "harness/experiment.hpp"
+
+#include "core/caps_prefetcher.hpp"
+#include "core/pas_scheduler.hpp"
+#include "prefetch/factory.hpp"
+
+namespace caps {
+
+SchedulerKind default_scheduler_for(PrefetcherKind pf) {
+  switch (pf) {
+    case PrefetcherKind::kCaps:
+      return SchedulerKind::kPas;
+    case PrefetcherKind::kOrch:
+      return SchedulerKind::kOrch;
+    default:
+      return SchedulerKind::kTwoLevel;
+  }
+}
+
+SmPolicyFactories make_policies(PrefetcherKind pf, SchedulerKind sched,
+                                bool caps_eager_wakeup) {
+  SmPolicyFactories p;
+  p.make_prefetcher = [pf](const GpuConfig& cfg) -> std::unique_ptr<Prefetcher> {
+    if (pf == PrefetcherKind::kCaps) return std::make_unique<CapsPrefetcher>(cfg);
+    return make_baseline_prefetcher(pf, cfg);
+  };
+  p.make_scheduler = [sched, caps_eager_wakeup](
+                         const GpuConfig& cfg, std::vector<WarpContext>& warps,
+                         std::function<bool(u32, Cycle)> eligible,
+                         std::function<bool(u32)> waiting_mem)
+      -> std::unique_ptr<Scheduler> {
+    if (sched == SchedulerKind::kPas)
+      return std::make_unique<PasScheduler>(cfg, warps, std::move(eligible),
+                                            std::move(waiting_mem),
+                                            caps_eager_wakeup);
+    return make_scheduler(sched, cfg, warps, std::move(eligible),
+                          std::move(waiting_mem));
+  };
+  return p;
+}
+
+RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace) {
+  const Workload& w = find_workload(cfg.workload);
+  GpuConfig gc = cfg.base;
+  gc.prefetcher = cfg.prefetcher;
+  if (cfg.max_ctas_per_sm) gc.max_ctas_per_sm = *cfg.max_ctas_per_sm;
+  gc.caps.eager_wakeup = cfg.caps_eager_wakeup;
+  const SchedulerKind sched =
+      cfg.scheduler.value_or(default_scheduler_for(cfg.prefetcher));
+  gc.scheduler = sched;
+
+  SmPolicyFactories policies =
+      make_policies(cfg.prefetcher, sched, cfg.caps_eager_wakeup);
+  Gpu gpu(gc, w.kernel, policies, std::move(trace));
+
+  RunResult r;
+  r.cfg = cfg;
+  r.scheduler_used = sched;
+  r.stats = gpu.run();
+  return r;
+}
+
+const std::vector<PrefetcherKind>& prefetcher_legend() {
+  static const std::vector<PrefetcherKind> legend = {
+      PrefetcherKind::kIntra, PrefetcherKind::kInter, PrefetcherKind::kMta,
+      PrefetcherKind::kNlp,   PrefetcherKind::kLap,   PrefetcherKind::kOrch,
+      PrefetcherKind::kCaps};
+  return legend;
+}
+
+std::vector<RunResult> run_all_prefetchers(const std::string& workload,
+                                           const GpuConfig& base) {
+  std::vector<RunResult> out;
+  RunConfig rc;
+  rc.workload = workload;
+  rc.base = base;
+  rc.prefetcher = PrefetcherKind::kNone;
+  out.push_back(run_experiment(rc));
+  for (PrefetcherKind pf : prefetcher_legend()) {
+    rc.prefetcher = pf;
+    out.push_back(run_experiment(rc));
+  }
+  return out;
+}
+
+}  // namespace caps

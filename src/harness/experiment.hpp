@@ -1,0 +1,54 @@
+// Experiment runner: wires a workload, a scheduler, and a prefetch engine
+// into a Gpu and runs it. Every bench binary and example goes through this
+// entry point so configurations stay comparable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/config.hpp"
+#include "gpu/gpu.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+
+/// One simulation configuration.
+struct RunConfig {
+  std::string workload;                      ///< abbreviation, e.g. "MM"
+  PrefetcherKind prefetcher = PrefetcherKind::kNone;
+  /// Scheduler override. Default: the pairing the paper evaluates — PAS for
+  /// CAPS, the orchestrated two-level for ORCH, plain two-level otherwise.
+  std::optional<SchedulerKind> scheduler;
+  /// Concurrent-CTA cap per SM (Fig. 11 sweep).
+  std::optional<u32> max_ctas_per_sm;
+  /// CAPS eager wake-up toggle (Fig. 14a ablation).
+  bool caps_eager_wakeup = true;
+  /// Base machine config (Table III defaults).
+  GpuConfig base{};
+};
+
+/// Which scheduler the paper pairs with each prefetcher by default.
+SchedulerKind default_scheduler_for(PrefetcherKind pf);
+
+struct RunResult {
+  RunConfig cfg;
+  SchedulerKind scheduler_used = SchedulerKind::kTwoLevel;
+  GpuStats stats;
+};
+
+/// Build the per-SM policy factories for a resolved configuration.
+SmPolicyFactories make_policies(PrefetcherKind pf, SchedulerKind sched,
+                                bool caps_eager_wakeup);
+
+/// Run one configuration to completion.
+RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace = nullptr);
+
+/// Convenience: run `workload` under every Fig. 10 configuration (BASE +
+/// the seven prefetchers) and return results in legend order.
+std::vector<RunResult> run_all_prefetchers(const std::string& workload,
+                                           const GpuConfig& base = GpuConfig{});
+
+/// The Fig. 10 legend order.
+const std::vector<PrefetcherKind>& prefetcher_legend();
+
+}  // namespace caps

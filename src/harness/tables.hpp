@@ -1,0 +1,37 @@
+// ASCII table + CSV rendering for the bench binaries. Every figure binary
+// prints a paper-style table to stdout and optionally mirrors it to CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace caps {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+  /// Comma-separated (no escaping needed for our cell contents).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false (with a note on stderr) on failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by all bench binaries.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_percent(double ratio, int precision = 1);
+
+/// Parse the common bench CLI: `--csv <path>` (others ignored). Returns the
+/// csv path or empty.
+std::string parse_csv_arg(int argc, char** argv);
+
+}  // namespace caps

@@ -1,0 +1,24 @@
+#include "isa/address_pattern.hpp"
+
+namespace caps {
+
+AddressPattern linear_pattern(Addr base, u32 elem_bytes, u32 block_x) {
+  AddressPattern p;
+  p.base = base;
+  p.c_tid_x = elem_bytes;
+  p.c_tid_y = static_cast<i64>(elem_bytes) * block_x;
+  // CTA coefficient: consecutive CTAs own consecutive chunks of the array.
+  p.c_cta_x = static_cast<i64>(elem_bytes) * block_x;
+  return p;
+}
+
+AddressPattern indirect_pattern(Addr base, u64 region_bytes, u64 seed) {
+  AddressPattern p;
+  p.base = base;
+  p.indirect = true;
+  p.region_bytes = region_bytes;
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace caps

@@ -1,0 +1,95 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace caps {
+
+DramChannel::DramChannel(const GpuConfig& cfg, DoneCallback done)
+    : t_(cfg.dram_timing),
+      ratio_(cfg.dram_clock_ratio()),
+      row_bytes_(cfg.dram_row_bytes),
+      num_banks_(cfg.dram_banks),
+      queue_capacity_(cfg.dram_queue_size),
+      done_(std::move(done)),
+      banks_(cfg.dram_banks) {}
+
+void DramChannel::submit(const MemRequest& req) {
+  assert(can_accept());
+  Pending p;
+  p.req = req;
+  const u64 row_id = req.line / row_bytes_;
+  p.bank = static_cast<u32>(row_id & (num_banks_ - 1));
+  p.row = row_id >> std::countr_zero(static_cast<u64>(num_banks_));
+  p.arrived = req.created;
+  queue_.push_back(p);
+}
+
+std::deque<DramChannel::Pending>::iterator DramChannel::pick(Cycle now) {
+  // First pass: oldest request that is a row hit on a ready bank.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const Bank& b = banks_[it->bank];
+    if (b.ready_at <= now && b.open && b.row == it->row) return it;
+  }
+  // Second pass: oldest request whose bank can start a new activation,
+  // honouring tRRD (activate-to-activate across banks) and tRC (same bank).
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const Bank& b = banks_[it->bank];
+    Cycle act_ok = std::max(b.ready_at, last_activate_any_ + scale(t_.tRRD));
+    if (b.open) act_ok = std::max(act_ok, b.last_activate + scale(t_.tRC));
+    if (act_ok <= now) return it;
+  }
+  return queue_.end();
+}
+
+void DramChannel::cycle(Cycle now) {
+  if (!queue_.empty()) ++stats_.busy_cycles;
+
+  // Complete finished transfers.
+  while (!in_service_.empty() && in_service_.front().first <= now) {
+    done_(in_service_.front().second);
+    in_service_.pop_front();
+  }
+
+  if (queue_.empty()) return;
+
+  // One command per core cycle. RAS/CAS latencies overlap across banks; the
+  // shared data bus serializes only the burst transfers themselves.
+  auto it = pick(now);
+  if (it == queue_.end()) return;
+
+  Bank& bank = banks_[it->bank];
+  Cycle data_start;
+  if (bank.open && bank.row == it->row) {
+    ++stats_.row_hits;
+    data_start = now + scale(t_.tCL);
+  } else {
+    ++stats_.row_misses;
+    // Precharge (if a row is open) + activate + CAS.
+    const u32 open_penalty = bank.open ? scale(t_.tRP) : 0;
+    data_start = now + open_penalty + scale(t_.tRCD) + scale(t_.tCL);
+    bank.open = true;
+    bank.row = it->row;
+    bank.last_activate = now + open_penalty;
+    last_activate_any_ = bank.last_activate;
+  }
+  const u32 burst = std::max<u32>(1, scale(t_.burst));
+  const Cycle data_end = std::max(data_start, bus_free_at_) + burst;
+  bus_free_at_ = data_end;
+  // Bank busy until the column access completes (+ write recovery).
+  bank.ready_at = data_end + (it->req.is_write ? scale(t_.tWR) : 0);
+
+  if (it->req.is_write)
+    ++stats_.writes;
+  else
+    ++stats_.reads;
+  // Keep completion order monotone for the in-order completion queue.
+  const Cycle completes =
+      in_service_.empty() ? data_end
+                          : std::max(data_end, in_service_.back().first);
+  in_service_.emplace_back(completes, it->req);
+  queue_.erase(it);
+}
+
+}  // namespace caps

@@ -1,0 +1,82 @@
+// GDDR5 DRAM channel with an FR-FCFS (first-ready, first-come-first-served)
+// command scheduler, per-bank row-buffer state, and a shared data bus.
+// Timing parameters come from Table III and are specified in DRAM command
+// cycles; the channel scales them to core cycles internally.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/memory_request.hpp"
+
+namespace caps {
+
+struct DramStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;
+  u64 busy_cycles = 0;      ///< cycles with at least one queued request
+  u64 queue_full_stalls = 0;
+};
+
+class DramChannel {
+ public:
+  /// `done` is invoked when a request's data transfer completes.
+  using DoneCallback = std::function<void(const MemRequest&)>;
+
+  DramChannel(const GpuConfig& cfg, DoneCallback done);
+
+  bool can_accept() const { return queue_.size() < queue_capacity_; }
+  void submit(const MemRequest& req);
+
+  /// Advance one core cycle.
+  void cycle(Cycle now);
+
+  bool idle() const { return queue_.empty(); }
+  const DramStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    MemRequest req;
+    u32 bank = 0;
+    u64 row = 0;
+    Cycle arrived = 0;
+  };
+
+  struct Bank {
+    bool open = false;
+    u64 row = 0;
+    Cycle ready_at = 0;        ///< earliest cycle a new command may start
+    Cycle last_activate = 0;   ///< for tRC/tRAS accounting
+  };
+
+  u32 scale(u32 dram_cycles) const {
+    return static_cast<u32>(dram_cycles * ratio_ + 0.5);
+  }
+
+  /// FR-FCFS pick: oldest row-hit if any bank-ready row-hit exists, else the
+  /// oldest request whose bank is ready.
+  std::deque<Pending>::iterator pick(Cycle now);
+
+  DramTiming t_;
+  double ratio_;
+  u32 row_bytes_;
+  u32 num_banks_;
+  std::size_t queue_capacity_;
+  DoneCallback done_;
+
+  std::deque<Pending> queue_;
+  std::vector<Bank> banks_;
+  Cycle bus_free_at_ = 0;
+  Cycle last_activate_any_ = 0;  ///< for tRRD (activate-to-activate, any bank)
+
+  /// Requests whose data transfer completes at .first.
+  std::deque<std::pair<Cycle, MemRequest>> in_service_;
+
+  DramStats stats_;
+};
+
+}  // namespace caps

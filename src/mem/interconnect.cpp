@@ -1,0 +1,33 @@
+#include "mem/interconnect.hpp"
+
+#include <cassert>
+
+namespace caps {
+
+Crossbar::Crossbar(u32 num_dests, u32 latency, u32 queue_capacity)
+    : latency_(latency), queue_capacity_(queue_capacity), queues_(num_dests) {}
+
+void Crossbar::push(u32 dest, const MemRequest& req, Cycle now) {
+  assert(dest < queues_.size());
+  assert(can_accept(dest));
+  queues_[dest].push_back(InFlight{now + latency_, req});
+  ++stats_.messages;
+}
+
+bool Crossbar::pop(u32 dest, Cycle now, MemRequest& out) {
+  assert(dest < queues_.size());
+  auto& q = queues_[dest];
+  if (q.empty() || q.front().ready_at > now) return false;
+  stats_.total_queue_delay += now - q.front().ready_at;
+  out = q.front().req;
+  q.pop_front();
+  return true;
+}
+
+bool Crossbar::idle() const {
+  for (const auto& q : queues_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+}  // namespace caps

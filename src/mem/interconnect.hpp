@@ -1,0 +1,51 @@
+// SM <-> memory-partition interconnect, modeled as two crossbars (request
+// and reply) with fixed traversal latency, bounded per-destination queues,
+// and one-message-per-destination-per-cycle drain bandwidth.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/memory_request.hpp"
+
+namespace caps {
+
+struct XbarStats {
+  u64 messages = 0;
+  u64 total_queue_delay = 0;  ///< cycles messages spent queued past latency
+  u64 inject_stalls = 0;      ///< push attempts refused because queue full
+};
+
+/// One direction of the crossbar: N sources -> M destination queues.
+class Crossbar {
+ public:
+  Crossbar(u32 num_dests, u32 latency, u32 queue_capacity);
+
+  bool can_accept(u32 dest) const {
+    return queues_[dest].size() < queue_capacity_;
+  }
+  void note_inject_stall() { ++stats_.inject_stalls; }
+
+  /// Inject a message toward `dest`; visible to pop() after `latency` cycles.
+  void push(u32 dest, const MemRequest& req, Cycle now);
+
+  /// Pop at most one arrived message for `dest` (per-destination bandwidth).
+  bool pop(u32 dest, Cycle now, MemRequest& out);
+
+  bool idle() const;
+  const XbarStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    Cycle ready_at;
+    MemRequest req;
+  };
+
+  u32 latency_;
+  std::size_t queue_capacity_;
+  std::vector<std::deque<InFlight>> queues_;
+  XbarStats stats_;
+};
+
+}  // namespace caps

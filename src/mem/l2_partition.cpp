@@ -1,0 +1,141 @@
+#include "mem/l2_partition.hpp"
+
+#include "mem/dram.hpp"
+
+namespace caps {
+
+L2Partition::L2Partition(const GpuConfig& cfg, DramChannel& channel)
+    : cfg_(cfg),
+      channel_(channel),
+      cache_(cfg.l2),
+      mshr_(cfg.l2.mshr_entries, cfg.l2.mshr_max_merged),
+      probe_queue_(cfg.l2.miss_queue_size) {}
+
+void L2Partition::accept(const MemRequest& req, Cycle now) {
+  probe_queue_.push(Staged{now + cfg_.l2_latency, req});
+}
+
+void L2Partition::cycle(Cycle now) {
+  // One tag probe per cycle, in arrival order (head-of-line blocking when
+  // the miss path is saturated, as in hardware). Statistics count each
+  // request once, when its probe completes — retried stalls don't inflate.
+  if (probe_queue_.empty() || probe_queue_.front().ready_at > now) return;
+
+  const MemRequest& req = probe_queue_.front().req;
+
+  if (req.is_write) {
+    // Write-back, write-allocate. GPU stores are warp-coalesced full-line
+    // writes, so allocation needs no fill from DRAM; a dirty eviction may
+    // need a write-back slot in the DRAM queue.
+    if (LineMeta* meta = cache_.find_meta(req.line)) {
+      ++stats_.accesses;
+      ++stats_.hits;
+      meta->dirty = true;
+      cache_.access(req.line);  // refresh LRU
+      probe_queue_.pop();
+      return;
+    }
+    if (!channel_.can_accept()) {
+      // Worst case the allocation evicts a dirty line; require a queue slot
+      // up front to keep the state machine single-step.
+      ++stats_.stall_dram_full;
+      return;
+    }
+    ++stats_.accesses;
+    ++stats_.misses;
+    LineMeta meta;
+    meta.dirty = true;
+    if (auto evicted = cache_.fill(req.line, meta);
+        evicted && evicted->second.dirty) {
+      MemRequest wb;
+      wb.line = evicted->first;
+      wb.is_write = true;
+      wb.sm_id = req.sm_id;
+      wb.created = now;
+      channel_.submit(wb);
+      ++stats_.writebacks;
+    }
+    probe_queue_.pop();
+    return;
+  }
+
+  // Read path.
+  if (mshr_.has(req.line)) {
+    // Secondary miss: merge if capacity allows.
+    if (!mshr_.can_merge(req.line)) {
+      ++stats_.stall_mshr_full;
+      return;
+    }
+    ++stats_.accesses;
+    ++stats_.misses;
+    ++stats_.mshr_merges;
+    mshr_.merge(req.line, req);
+    probe_queue_.pop();
+    return;
+  }
+
+  if (cache_.access(req.line) == CacheOutcome::kHit) {
+    ++stats_.accesses;
+    ++stats_.hits;
+    replies_.push_back(req);
+    probe_queue_.pop();
+    return;
+  }
+
+  // Primary miss: need an MSHR entry and DRAM queue space.
+  if (mshr_.full()) {
+    ++stats_.stall_mshr_full;
+    return;
+  }
+  if (!channel_.can_accept()) {
+    ++stats_.stall_dram_full;
+    return;
+  }
+  ++stats_.accesses;
+  ++stats_.misses;
+  mshr_.allocate(req.line, req, req.is_prefetch);
+  MemRequest to_dram = req;
+  to_dram.created = now;
+  channel_.submit(to_dram);
+  probe_queue_.pop();
+}
+
+void L2Partition::dram_done(const MemRequest& req, Cycle now) {
+  if (req.is_write) return;
+  if (auto evicted = cache_.fill(req.line, LineMeta{});
+      evicted && evicted->second.dirty) {
+    // Dirty eviction on a fill: queue the write-back; if the DRAM queue is
+    // momentarily full the write-back is deferred to the overflow buffer
+    // and drained in cycle().
+    MemRequest wb;
+    wb.line = evicted->first;
+    wb.is_write = true;
+    wb.sm_id = req.sm_id;
+    wb.created = now;
+    pending_writebacks_.push_back(wb);
+    ++stats_.writebacks;
+  }
+  for (MemRequest& waiter : mshr_.fill(req.line)) replies_.push_back(waiter);
+}
+
+bool L2Partition::drain_writebacks() {
+  while (!pending_writebacks_.empty() && channel_.can_accept()) {
+    channel_.submit(pending_writebacks_.front());
+    pending_writebacks_.pop_front();
+  }
+  return pending_writebacks_.empty();
+}
+
+bool L2Partition::pop_reply(MemRequest& out) {
+  if (replies_.empty()) return false;
+  out = replies_.front();
+  replies_.pop_front();
+  return true;
+}
+
+bool L2Partition::idle() const {
+  return probe_queue_.empty() && replies_.empty() && mshr_.size() == 0 &&
+         pending_writebacks_.empty();
+}
+
+}  // namespace caps

@@ -1,0 +1,73 @@
+// One L2 cache partition: a slice of the shared L2 plus its MSHR and the
+// queues toward its DRAM channel. Partitions are address-interleaved at
+// line granularity.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "mem/cache.hpp"
+#include "mem/mshr.hpp"
+#include "mem/memory_request.hpp"
+
+namespace caps {
+
+class DramChannel;
+
+struct L2Stats {
+  u64 accesses = 0;
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 mshr_merges = 0;
+  u64 writebacks = 0;
+  u64 stall_mshr_full = 0;
+  u64 stall_dram_full = 0;
+};
+
+class L2Partition {
+ public:
+  L2Partition(const GpuConfig& cfg, DramChannel& channel);
+
+  /// Whether a new request popped from the crossbar can enter this cycle.
+  bool can_accept() const { return !probe_queue_.full(); }
+
+  /// Accept a request from the request crossbar.
+  void accept(const MemRequest& req, Cycle now);
+
+  /// Advance one core cycle. May enqueue work into the DRAM channel.
+  void cycle(Cycle now);
+
+  /// Callback target when the DRAM channel finishes one of our lines.
+  void dram_done(const MemRequest& req, Cycle now);
+
+  /// Push deferred dirty write-backs into the DRAM queue; true when empty.
+  bool drain_writebacks();
+
+  /// Pop one ready reply destined for the reply crossbar.
+  bool pop_reply(MemRequest& out);
+
+  /// Return a popped reply that the crossbar could not take (backpressure).
+  void push_front_reply(const MemRequest& req) { replies_.push_front(req); }
+
+  bool idle() const;
+  const L2Stats& stats() const { return stats_; }
+
+ private:
+  struct Staged {
+    Cycle ready_at;
+    MemRequest req;
+  };
+
+  const GpuConfig& cfg_;
+  DramChannel& channel_;
+  SetAssocCache cache_;
+  Mshr<MemRequest> mshr_;
+  BoundedQueue<Staged> probe_queue_;   ///< tag-probe pipeline
+  std::deque<MemRequest> replies_;     ///< toward the reply crossbar
+  std::deque<MemRequest> pending_writebacks_;  ///< dirty evictions awaiting DRAM
+  L2Stats stats_;
+};
+
+}  // namespace caps

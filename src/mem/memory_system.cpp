@@ -1,0 +1,106 @@
+#include "mem/memory_system.hpp"
+
+namespace caps {
+
+MemorySystem::MemorySystem(const GpuConfig& cfg)
+    : cfg_(cfg),
+      req_xbar_(cfg.num_l2_partitions, cfg.xbar_latency, /*queue=*/16),
+      reply_xbar_(cfg.num_sms, cfg.xbar_latency, /*queue=*/16) {
+  for (u32 c = 0; c < cfg_.num_dram_channels; ++c) {
+    channels_.push_back(std::make_unique<DramChannel>(
+        cfg_, [this](const MemRequest& req) {
+          partitions_[partition_of(req.line)]->dram_done(req, now_);
+          if (req.is_write)
+            ++traffic_.dram_writes;
+          else
+            ++traffic_.dram_reads;
+        }));
+  }
+  for (u32 p = 0; p < cfg_.num_l2_partitions; ++p) {
+    DramChannel& ch = *channels_[p % cfg_.num_dram_channels];
+    partitions_.push_back(std::make_unique<L2Partition>(cfg_, ch));
+  }
+}
+
+void MemorySystem::submit(const MemRequest& req, Cycle now) {
+  ++traffic_.core_requests;
+  if (req.is_write)
+    ++traffic_.core_write_requests;
+  else if (req.is_prefetch)
+    ++traffic_.core_prefetch_requests;
+  else
+    ++traffic_.core_demand_requests;
+  req_xbar_.push(partition_of(req.line), req, now);
+}
+
+void MemorySystem::cycle(Cycle now) {
+  now_ = now;
+
+  // Partitions pull at most one request each from the request crossbar.
+  for (u32 p = 0; p < partitions_.size(); ++p) {
+    if (!partitions_[p]->can_accept()) continue;
+    MemRequest req;
+    if (req_xbar_.pop(p, now, req)) partitions_[p]->accept(req, now);
+  }
+
+  for (auto& part : partitions_) {
+    part->drain_writebacks();
+    part->cycle(now);
+  }
+  for (auto& ch : channels_) ch->cycle(now);
+
+  // Partitions inject at most one reply each into the reply crossbar.
+  for (auto& part : partitions_) {
+    MemRequest reply;
+    // Peek capacity first: every reply goes to reply.sm_id's queue.
+    if (!part->pop_reply(reply)) continue;
+    if (reply_xbar_.can_accept(reply.sm_id)) {
+      reply_xbar_.push(reply.sm_id, reply, now);
+    } else {
+      // Rare backpressure: requeue locally by re-accepting next cycle.
+      // (Handled by pushing back into the partition's reply queue.)
+      part->push_front_reply(reply);
+      reply_xbar_.note_inject_stall();
+    }
+  }
+}
+
+bool MemorySystem::idle() const {
+  if (!req_xbar_.idle() || !reply_xbar_.idle()) return false;
+  for (const auto& p : partitions_)
+    if (!p->idle()) return false;
+  for (const auto& c : channels_)
+    if (!c->idle()) return false;
+  return true;
+}
+
+DramStats MemorySystem::dram_stats() const {
+  DramStats agg;
+  for (const auto& c : channels_) {
+    const DramStats& s = c->stats();
+    agg.reads += s.reads;
+    agg.writes += s.writes;
+    agg.row_hits += s.row_hits;
+    agg.row_misses += s.row_misses;
+    agg.busy_cycles += s.busy_cycles;
+    agg.queue_full_stalls += s.queue_full_stalls;
+  }
+  return agg;
+}
+
+L2Stats MemorySystem::l2_stats() const {
+  L2Stats agg;
+  for (const auto& p : partitions_) {
+    const L2Stats& s = p->stats();
+    agg.accesses += s.accesses;
+    agg.hits += s.hits;
+    agg.misses += s.misses;
+    agg.mshr_merges += s.mshr_merges;
+    agg.writebacks += s.writebacks;
+    agg.stall_mshr_full += s.stall_mshr_full;
+    agg.stall_dram_full += s.stall_dram_full;
+  }
+  return agg;
+}
+
+}  // namespace caps

@@ -1,0 +1,71 @@
+// The off-SM memory hierarchy: request crossbar -> L2 partitions -> DRAM
+// channels -> reply crossbar. Owns global traffic statistics (Fig. 13).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l2_partition.hpp"
+#include "mem/memory_request.hpp"
+
+namespace caps {
+
+struct TrafficStats {
+  u64 core_requests = 0;        ///< all SM->memory requests (demand+prefetch)
+  u64 core_demand_requests = 0;
+  u64 core_prefetch_requests = 0;
+  u64 core_write_requests = 0;
+  u64 dram_reads = 0;           ///< lines read from DRAM
+  u64 dram_writes = 0;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const GpuConfig& cfg);
+
+  /// Which partition services a line (chunk-interleaved so DRAM rows stay
+  /// within one channel and streaming keeps row-buffer locality).
+  u32 partition_of(Addr line) const {
+    return static_cast<u32>((line / cfg_.partition_chunk_bytes) %
+                            cfg_.num_l2_partitions);
+  }
+
+  /// Whether the request network can take a message for this line now.
+  bool can_accept(Addr line) const {
+    return req_xbar_.can_accept(partition_of(line));
+  }
+  void note_inject_stall() { req_xbar_.note_inject_stall(); }
+
+  /// Inject a request from an SM.
+  void submit(const MemRequest& req, Cycle now);
+
+  /// Advance the whole off-SM hierarchy one core cycle.
+  void cycle(Cycle now);
+
+  /// Pop one reply for SM `sm_id` (per-SM reply bandwidth is enforced by the
+  /// caller via how often it pops).
+  bool pop_reply(u32 sm_id, Cycle now, MemRequest& out) {
+    return reply_xbar_.pop(sm_id, now, out);
+  }
+
+  bool idle() const;
+
+  const TrafficStats& traffic() const { return traffic_; }
+  const XbarStats& request_xbar_stats() const { return req_xbar_.stats(); }
+  DramStats dram_stats() const;  ///< aggregated over channels
+  L2Stats l2_stats() const;      ///< aggregated over partitions
+
+ private:
+  GpuConfig cfg_;
+  Crossbar req_xbar_;
+  Crossbar reply_xbar_;
+  std::vector<std::unique_ptr<DramChannel>> channels_;
+  std::vector<std::unique_ptr<L2Partition>> partitions_;
+  TrafficStats traffic_;
+  Cycle now_ = 0;  ///< latched each cycle() for the DRAM done callback
+};
+
+}  // namespace caps

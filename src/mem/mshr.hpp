@@ -1,0 +1,73 @@
+// Miss Status Holding Registers: track in-flight misses per line and merge
+// subsequent accesses to the same line (secondary misses). Templated on the
+// waiter type: the L1 parks L1Access descriptors, the L2 parks MemRequests.
+#pragma once
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+template <typename Waiter>
+class Mshr {
+ public:
+  Mshr(u32 entries, u32 max_merged) : entries_(entries), max_merged_(max_merged) {}
+
+  bool full() const { return table_.size() >= entries_; }
+  bool has(Addr line) const { return table_.contains(line); }
+  std::size_t size() const { return table_.size(); }
+
+  /// True if an access to `line` can be merged into an existing entry.
+  bool can_merge(Addr line) const {
+    auto it = table_.find(line);
+    return it != table_.end() && it->second.waiters.size() < max_merged_;
+  }
+
+  /// Allocate a new entry (primary miss). Precondition: !full() && !has(line).
+  /// `by_prefetch` tags the entry for late-prefetch accounting.
+  void allocate(Addr line, Waiter waiter, bool by_prefetch = false) {
+    assert(!full() && !has(line));
+    Entry e;
+    e.allocated_by_prefetch = by_prefetch;
+    e.waiters.push_back(std::move(waiter));
+    table_.emplace(line, std::move(e));
+  }
+
+  /// Merge a secondary miss. Precondition: can_merge(line).
+  void merge(Addr line, Waiter waiter) {
+    auto it = table_.find(line);
+    assert(it != table_.end() && it->second.waiters.size() < max_merged_);
+    it->second.waiters.push_back(std::move(waiter));
+  }
+
+  /// Whether the in-flight entry was allocated by a prefetch.
+  bool is_prefetch_entry(Addr line) const {
+    auto it = table_.find(line);
+    return it != table_.end() && it->second.allocated_by_prefetch;
+  }
+
+  /// Service a fill: removes the entry, returns its waiters in merge order.
+  std::vector<Waiter> fill(Addr line) {
+    auto it = table_.find(line);
+    assert(it != table_.end());
+    std::vector<Waiter> waiters = std::move(it->second.waiters);
+    table_.erase(it);
+    return waiters;
+  }
+
+ private:
+  struct Entry {
+    std::vector<Waiter> waiters;
+    bool allocated_by_prefetch = false;
+  };
+
+  u32 entries_;
+  u32 max_merged_;
+  std::unordered_map<Addr, Entry> table_;
+};
+
+}  // namespace caps

@@ -1,0 +1,17 @@
+// Factory for the baseline prefetch engines. CAPS is constructed via
+// core/caps_prefetcher.hpp (the core library depends on this one).
+#pragma once
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace caps {
+
+/// Builds NONE/INTRA/INTER/MTA/NLP/LAP/ORCH engines (ORCH uses the LAP
+/// engine; its scheduling half is a Scheduler policy). Throws on kCaps.
+std::unique_ptr<Prefetcher> make_baseline_prefetcher(PrefetcherKind kind,
+                                                     const GpuConfig& cfg);
+
+}  // namespace caps

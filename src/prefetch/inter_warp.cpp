@@ -1,0 +1,46 @@
+#include "prefetch/inter_warp.hpp"
+
+namespace caps {
+
+void InterWarpPrefetcher::on_load_issue(const LoadIssueInfo& info,
+                                        std::vector<PrefetchRequest>& out) {
+  if (!info.is_load || info.lines.empty()) return;
+  ++stats_.table_reads;
+  bool inserted = false;
+  StrideTable::Entry& e = table_.lookup(info.pc, inserted);
+  const Addr addr = info.lines.front();
+  if (!inserted && e.last_tag != info.warp_slot) {
+    const i64 dw = static_cast<i64>(info.warp_slot) -
+                   static_cast<i64>(e.last_tag);
+    const i64 da = static_cast<i64>(addr) - static_cast<i64>(e.last_addr);
+    if (dw != 0 && da % dw == 0) {
+      const i64 stride = da / dw;
+      if (stride == e.stride && stride != 0) {
+        if (e.confidence < 3) ++e.confidence;
+      } else {
+        e.stride = stride;
+        e.confidence = stride != 0 ? 1 : 0;
+      }
+    }
+  }
+  e.last_addr = addr;
+  e.last_tag = info.warp_slot;
+  ++e.observations;
+  ++stats_.table_writes;
+
+  if (e.confidence < 2) return;
+  // Prefetch for the next `degree` warp slots, CTA boundaries be damned.
+  for (u32 d = 1; d <= cfg_.baseline_pf.degree; ++d) {
+    const u32 target = info.warp_slot + d;
+    if (target >= cfg_.max_warps_per_sm) break;
+    PrefetchRequest r;
+    r.line = static_cast<Addr>(static_cast<i64>(addr) +
+                               e.stride * static_cast<i64>(d));
+    r.pc = info.pc;
+    r.target_warp_slot = static_cast<i32>(target);
+    out.push_back(r);
+    ++stats_.requests_generated;
+  }
+}
+
+}  // namespace caps

@@ -1,0 +1,29 @@
+// INTER: inter-warp stride prefetching (Section III-B). For each load PC the
+// engine tracks the last (warp slot, address) pair; the stride between
+// consecutive warp slots predicts the addresses of the next `degree` warps.
+// Deliberately CTA-agnostic — warp slots of different CTAs are adjacent, so
+// predictions across CTA boundaries use the wrong base address. That is the
+// published failure mode this reproduction must exhibit (Figs. 1, 10, 12).
+#pragma once
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/stride_table.hpp"
+
+namespace caps {
+
+class InterWarpPrefetcher final : public Prefetcher {
+ public:
+  explicit InterWarpPrefetcher(const GpuConfig& cfg)
+      : cfg_(cfg), table_(cfg.baseline_pf.stride_table_entries) {}
+
+  void on_load_issue(const LoadIssueInfo& info,
+                     std::vector<PrefetchRequest>& out) override;
+  const char* name() const override { return "INTER"; }
+
+ private:
+  const GpuConfig& cfg_;
+  StrideTable table_;
+};
+
+}  // namespace caps

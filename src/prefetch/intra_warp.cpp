@@ -1,0 +1,26 @@
+#include "prefetch/intra_warp.hpp"
+
+#include "common/rng.hpp"
+
+namespace caps {
+
+void IntraWarpPrefetcher::on_load_issue(const LoadIssueInfo& info,
+                                        std::vector<PrefetchRequest>& out) {
+  if (!info.is_load || info.lines.empty()) return;
+  const u64 key = hash_combine(info.pc, info.warp_slot);
+  ++stats_.table_reads;
+  ++stats_.table_writes;
+  const StrideTable::Entry& e = table_.observe(key, info.lines.front());
+  if (e.confidence < 2) return;
+  for (u32 d = 1; d <= cfg_.baseline_pf.degree; ++d) {
+    PrefetchRequest r;
+    r.line = static_cast<Addr>(static_cast<i64>(info.lines.front()) +
+                               e.stride * static_cast<i64>(d));
+    r.pc = info.pc;
+    r.target_warp_slot = static_cast<i32>(info.warp_slot);
+    out.push_back(r);
+    ++stats_.requests_generated;
+  }
+}
+
+}  // namespace caps

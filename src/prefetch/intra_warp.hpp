@@ -1,0 +1,29 @@
+// INTRA: intra-warp stride prefetching (Section III-A). Each (warp, PC)
+// pair tracks the stride between successive executions of the same load by
+// the same warp (i.e. loop iterations) and prefetches `degree` future
+// iterations once the stride is confirmed twice. Only loads executed inside
+// loops ever retrain, so loop-free kernels get no INTRA prefetches — the
+// limitation Fig. 4 documents.
+#pragma once
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/stride_table.hpp"
+
+namespace caps {
+
+class IntraWarpPrefetcher final : public Prefetcher {
+ public:
+  explicit IntraWarpPrefetcher(const GpuConfig& cfg)
+      : cfg_(cfg), table_(cfg.baseline_pf.stride_table_entries * 8) {}
+
+  void on_load_issue(const LoadIssueInfo& info,
+                     std::vector<PrefetchRequest>& out) override;
+  const char* name() const override { return "INTRA"; }
+
+ private:
+  const GpuConfig& cfg_;
+  StrideTable table_;
+};
+
+}  // namespace caps

@@ -1,0 +1,49 @@
+#include "prefetch/lap.hpp"
+
+#include <bit>
+
+namespace caps {
+
+void LocalityAwarePrefetcher::on_demand_miss(Addr line, Addr pc, i32 warp_slot,
+                                             std::vector<PrefetchRequest>& out) {
+  const u32 lines_per_block = cfg_.baseline_pf.macro_block_lines;
+  const Addr block_bytes =
+      static_cast<Addr>(lines_per_block) * cfg_.l1d.line_size;
+  const Addr block_base = line - (line % block_bytes);
+  const u32 line_idx = static_cast<u32>((line - block_base) / cfg_.l1d.line_size);
+
+  ++stats_.table_reads;
+  auto it = blocks_.find(block_base);
+  if (it == blocks_.end()) {
+    if (blocks_.size() >= kMaxTrackedBlocks) {
+      auto victim = blocks_.begin();
+      for (auto vit = blocks_.begin(); vit != blocks_.end(); ++vit)
+        if (vit->second.lru < victim->second.lru) victim = vit;
+      blocks_.erase(victim);
+    }
+    it = blocks_.emplace(block_base, BlockState{}).first;
+  }
+  BlockState& b = it->second;
+  b.miss_mask |= (1u << line_idx);
+  b.lru = ++clock_;
+  ++stats_.table_writes;
+
+  if (static_cast<u32>(std::popcount(b.miss_mask)) <
+      cfg_.baseline_pf.lap_miss_threshold)
+    return;
+
+  // Prefetch every not-yet-missed line of the macro block, then retire the
+  // block so it doesn't retrigger.
+  for (u32 i = 0; i < lines_per_block; ++i) {
+    if (b.miss_mask & (1u << i)) continue;
+    PrefetchRequest r;
+    r.line = block_base + static_cast<Addr>(i) * cfg_.l1d.line_size;
+    r.pc = pc;
+    r.target_warp_slot = warp_slot;
+    out.push_back(r);
+    ++stats_.requests_generated;
+  }
+  blocks_.erase(it);
+}
+
+}  // namespace caps

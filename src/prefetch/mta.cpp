@@ -1,0 +1,67 @@
+#include "prefetch/mta.hpp"
+
+#include "common/rng.hpp"
+
+namespace caps {
+
+void MtaPrefetcher::on_load_issue(const LoadIssueInfo& info,
+                                  std::vector<PrefetchRequest>& out) {
+  if (!info.is_load || info.lines.empty()) return;
+  const Addr addr = info.lines.front();
+
+  // Intra-warp mode: train the per-warp table; it only gains confidence for
+  // loads the same warp executes repeatedly (loop bodies).
+  const u64 ikey = hash_combine(info.pc, info.warp_slot);
+  ++stats_.table_reads;
+  ++stats_.table_writes;
+  const StrideTable::Entry& ie = intra_.observe(ikey, addr);
+  if (ie.confidence >= 2) {
+    for (u32 d = 1; d <= cfg_.baseline_pf.degree; ++d) {
+      PrefetchRequest r;
+      r.line = static_cast<Addr>(static_cast<i64>(addr) +
+                                 ie.stride * static_cast<i64>(d));
+      r.pc = info.pc;
+      r.target_warp_slot = static_cast<i32>(info.warp_slot);
+      out.push_back(r);
+      ++stats_.requests_generated;
+    }
+    return;  // iterative load: intra mode owns it
+  }
+
+  // Inter-warp fallback (identical to INTER).
+  bool inserted = false;
+  StrideTable::Entry& e = inter_.lookup(info.pc, inserted);
+  ++stats_.table_reads;
+  if (!inserted && e.last_tag != info.warp_slot) {
+    const i64 dw = static_cast<i64>(info.warp_slot) -
+                   static_cast<i64>(e.last_tag);
+    const i64 da = static_cast<i64>(addr) - static_cast<i64>(e.last_addr);
+    if (dw != 0 && da % dw == 0) {
+      const i64 stride = da / dw;
+      if (stride == e.stride && stride != 0) {
+        if (e.confidence < 3) ++e.confidence;
+      } else {
+        e.stride = stride;
+        e.confidence = stride != 0 ? 1 : 0;
+      }
+    }
+  }
+  e.last_addr = addr;
+  e.last_tag = info.warp_slot;
+  ++e.observations;
+  ++stats_.table_writes;
+  if (e.confidence < 2) return;
+  for (u32 d = 1; d <= cfg_.baseline_pf.degree; ++d) {
+    const u32 target = info.warp_slot + d;
+    if (target >= cfg_.max_warps_per_sm) break;
+    PrefetchRequest r;
+    r.line = static_cast<Addr>(static_cast<i64>(addr) +
+                               e.stride * static_cast<i64>(d));
+    r.pc = info.pc;
+    r.target_warp_slot = static_cast<i32>(target);
+    out.push_back(r);
+    ++stats_.requests_generated;
+  }
+}
+
+}  // namespace caps

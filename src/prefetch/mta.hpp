@@ -1,0 +1,30 @@
+// MTA: many-thread aware prefetching (Lee et al. [9], hardware variant).
+// Combines both stride modes: loads that re-execute in a loop use intra-warp
+// (per-warp) stride prediction; single-shot loads fall back to inter-warp
+// stride prediction. Inherits INTER's CTA-boundary blindness.
+#pragma once
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/stride_table.hpp"
+
+namespace caps {
+
+class MtaPrefetcher final : public Prefetcher {
+ public:
+  explicit MtaPrefetcher(const GpuConfig& cfg)
+      : cfg_(cfg),
+        intra_(cfg.baseline_pf.stride_table_entries * 8),
+        inter_(cfg.baseline_pf.stride_table_entries) {}
+
+  void on_load_issue(const LoadIssueInfo& info,
+                     std::vector<PrefetchRequest>& out) override;
+  const char* name() const override { return "MTA"; }
+
+ private:
+  const GpuConfig& cfg_;
+  StrideTable intra_;  ///< key: (pc, warp slot)
+  StrideTable inter_;  ///< key: pc
+};
+
+}  // namespace caps

@@ -1,0 +1,24 @@
+// NLP: next-line prefetching (Section III-C). On every L1 demand miss,
+// fetch the next sequential cache line. Pattern-agnostic: cheap, but
+// neither accurate nor timely (the prefetch trails the miss by one line).
+#pragma once
+
+#include "common/config.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace caps {
+
+class NextLinePrefetcher final : public Prefetcher {
+ public:
+  explicit NextLinePrefetcher(const GpuConfig& cfg) : cfg_(cfg) {}
+
+  void on_load_issue(const LoadIssueInfo&, std::vector<PrefetchRequest>&) override {}
+  void on_demand_miss(Addr line, Addr pc, i32 warp_slot,
+                      std::vector<PrefetchRequest>& out) override;
+  const char* name() const override { return "NLP"; }
+
+ private:
+  const GpuConfig& cfg_;
+};
+
+}  // namespace caps

@@ -1,0 +1,48 @@
+#include "prefetch/stride_table.hpp"
+
+namespace caps {
+
+StrideTable::Entry* StrideTable::find(u64 key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return nullptr;
+  it->second.lru = ++clock_;
+  return &it->second;
+}
+
+StrideTable::Entry& StrideTable::lookup(u64 key, bool& inserted) {
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    inserted = false;
+    it->second.lru = ++clock_;
+    return it->second;
+  }
+  if (table_.size() >= max_entries_) {
+    auto victim = table_.begin();
+    for (auto vit = table_.begin(); vit != table_.end(); ++vit)
+      if (vit->second.lru < victim->second.lru) victim = vit;
+    table_.erase(victim);
+  }
+  inserted = true;
+  Entry& e = table_[key];
+  e.lru = ++clock_;
+  return e;
+}
+
+StrideTable::Entry& StrideTable::observe(u64 key, Addr addr) {
+  bool inserted = false;
+  Entry& e = lookup(key, inserted);
+  if (!inserted) {
+    const i64 stride = static_cast<i64>(addr) - static_cast<i64>(e.last_addr);
+    if (stride == e.stride && stride != 0) {
+      if (e.confidence < 3) ++e.confidence;
+    } else {
+      e.stride = stride;
+      e.confidence = stride != 0 ? 1 : 0;
+    }
+  }
+  e.last_addr = addr;
+  ++e.observations;
+  return e;
+}
+
+}  // namespace caps

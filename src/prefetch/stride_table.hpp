@@ -1,0 +1,44 @@
+// Small LRU-managed stride-detection table shared by the INTRA/INTER/MTA
+// baseline prefetchers. Each entry tracks the last observed address for a
+// key plus a confirmed stride and a 2-bit confidence counter.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+class StrideTable {
+ public:
+  struct Entry {
+    Addr last_addr = 0;
+    i64 stride = 0;
+    u32 confidence = 0;  ///< consecutive confirmations of `stride`
+    u64 observations = 0;
+    u64 lru = 0;
+    u64 last_tag = 0;  ///< caller-defined (e.g. last warp slot)
+  };
+
+  explicit StrideTable(u32 max_entries) : max_entries_(max_entries) {}
+
+  /// Find without inserting.
+  Entry* find(u64 key);
+
+  /// Find or insert (LRU eviction when full). `inserted` reports whether a
+  /// fresh entry was created.
+  Entry& lookup(u64 key, bool& inserted);
+
+  /// Observe a new address: updates stride/confidence Baer-Chen style.
+  /// Returns the entry after the update.
+  Entry& observe(u64 key, Addr addr);
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  u32 max_entries_;
+  u64 clock_ = 0;
+  std::unordered_map<u64, Entry> table_;
+};
+
+}  // namespace caps

@@ -1,0 +1,38 @@
+// Internal: one builder function per benchmark. Shared address-space
+// helpers for laying out the synthetic arrays.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace caps::workloads {
+
+/// Base address of synthetic array `i` (arrays are 256 MB apart so patterns
+/// never alias across arrays).
+constexpr Addr arr(u32 i) { return 0x1000'0000ULL * (i + 1); }
+
+/// Footprint caps (power of two) modelling realistic input sizes relative
+/// to the 768 KB aggregate L2: kSmall mostly L2-resident, kMedium partially,
+/// kLarge streaming.
+constexpr u64 kTiny = 64ULL << 10;
+constexpr u64 kSmall = 256ULL << 10;
+constexpr u64 kMedium = 1ULL << 20;
+constexpr u64 kLarge = 4ULL << 20;
+
+Workload make_cp();
+Workload make_lps();
+Workload make_bpr();
+Workload make_hsp();
+Workload make_mrq();
+Workload make_ste();
+Workload make_cnv();
+Workload make_hst();
+Workload make_jc1();
+Workload make_fft();
+Workload make_scn();
+Workload make_mm();
+Workload make_pvr();
+Workload make_ccl();
+Workload make_bfs();
+Workload make_km();
+
+}  // namespace caps::workloads

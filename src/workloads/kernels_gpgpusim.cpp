@@ -1,0 +1,91 @@
+// CP and LPS: the two GPGPU-Sim [19] benchmarks of Table IV.
+#include "workloads/builders.hpp"
+
+namespace caps::workloads {
+
+// Coulombic Potential: compute-heavy, two one-shot strided loads of atom
+// data, long SFU/ALU chains, one store. Fig. 4: 0 repeated / 2 total loads.
+Workload make_cp() {
+  const Dim3 block{128, 1, 1};
+  const Dim3 grid{16, 16, 1};
+
+  AddressPattern atoms_x = linear_pattern(arr(0), 8, block.x);
+  atoms_x.c_cta_x = 8 * block.x;
+  atoms_x.wrap_bytes = kMedium;
+  AddressPattern atoms_q = linear_pattern(arr(1), 8, block.x);
+  atoms_q.c_cta_x = 8 * block.x;
+  atoms_q.wrap_bytes = kMedium;
+  AddressPattern energy = linear_pattern(arr(2), 4, block.x);
+
+  KernelBuilder b("cp", grid, block);
+  b.alu(4);
+  b.load(atoms_x, /*consume=*/false);
+  b.load(atoms_q, /*consume=*/false);
+  b.wait_mem();
+  b.loop(3);
+  b.sfu(3, /*dep_next=*/true);
+  b.alu(8, /*dep_next=*/true);
+  b.alu(4);
+  b.end_loop();
+  b.store(energy);
+
+  Workload w{"CP", "Coulombic Potential", "GPGPU-Sim", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 2;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+// laplace3D: (32,4) thread blocks exactly as the Section IV example; two
+// loads iterate over z-slices in a loop, two boundary loads are one-shot.
+// Fig. 4: 2 repeated / 4 total loads, ~99 iterations (scaled to 24 here).
+Workload make_lps() {
+  const Dim3 block{32, 4, 1};
+  const Dim3 grid{12, 12, 1};
+  const i64 pitch = 4 * 32 * grid.x;       // row of floats across the grid
+  const i64 slice = pitch * 4 * grid.y;    // one z-slice
+
+  AddressPattern u1{};  // d_u1[IOFF] from Fig. 6a
+  u1.base = arr(0);
+  u1.wrap_bytes = kMedium;
+  u1.c_tid_x = 4;
+  u1.c_tid_y = pitch;
+  u1.c_cta_x = 4 * 32;
+  u1.c_cta_y = pitch * 4;
+  u1.c_iter = slice;
+
+  AddressPattern u1_up = u1;  // +pitch neighbour
+  u1_up.base = arr(0) + static_cast<Addr>(pitch);
+
+  AddressPattern u1_b0 = u1;  // z = 0 boundary plane (no iteration term)
+  u1_b0.c_iter = 0;
+  AddressPattern u1_b1 = u1_b0;
+  u1_b1.base = arr(0) + static_cast<Addr>(slice);
+
+  AddressPattern u2 = u1;  // output plane, same indexing
+  u2.base = arr(1);
+
+  KernelBuilder b("lps", grid, block);
+  b.alu(3);
+  b.load(u1_b0, /*consume=*/false);
+  b.load(u1_b1, /*consume=*/false);
+  b.wait_mem();
+  b.loop(16);
+  b.load(u1, /*consume=*/false);
+  b.load(u1_up, /*consume=*/false);
+  b.wait_mem();
+  b.shared_op(2);  // stage the plane into shared memory
+  b.barrier();     // (shared-memory tiled variant of the kernel)
+  b.alu(6, /*dep_next=*/true);
+  b.alu(3, /*dep_next=*/true);
+  b.store(u2);
+  b.end_loop();
+
+  Workload w{"LPS", "laplace3D", "GPGPU-Sim", false, b.build()};
+  w.paper_repeated_loads = 2;
+  w.paper_total_loads = 4;
+  w.paper_avg_iterations = 99;
+  return w;
+}
+
+}  // namespace caps::workloads

@@ -1,0 +1,79 @@
+// JC1 (Polybench/GPU [28]) and FFT (SHOC [29]).
+#include "workloads/builders.hpp"
+
+namespace caps::workloads {
+
+// jacobi1D: three-point stencil reads plus the previous output — four
+// one-shot strided loads, one store. Fig. 4: 0 repeated / 4 total loads.
+Workload make_jc1() {
+  const Dim3 block{256, 1, 1};
+  const Dim3 grid{448, 1, 1};
+
+  auto tap = [&](i64 offset) {
+    AddressPattern p = linear_pattern(arr(0), 4, block.x);
+    p.base = arr(0) + 4096 + static_cast<Addr>(offset);
+    p.wrap_bytes = kSmall;
+    return p;
+  };
+
+  KernelBuilder b("jc1", grid, block);
+  b.alu(1);
+  b.load(tap(-4), false);
+  b.load(tap(0), false);
+  b.load(tap(4), false);
+  AddressPattern prev = linear_pattern(arr(1), 4, block.x);
+  prev.wrap_bytes = kSmall;
+  b.load(prev, false);
+  b.wait_mem();
+  b.alu(5, /*dep_next=*/true);
+  b.alu(3, /*dep_next=*/true);
+  AddressPattern out = linear_pattern(arr(1), 4, block.x);
+  b.store(out);
+
+  Workload w{"JC1", "jacobi1D", "Polybench/GPU", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 4;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+// FFT: unrolled butterfly stages — sixteen one-shot loads at power-of-two
+// distances with SFU-heavy twiddle math. Fig. 4: 0 repeated / 16 total.
+Workload make_fft() {
+  const Dim3 block{64, 1, 1};
+  const Dim3 grid{24, 16, 1};
+
+  KernelBuilder b("fft", grid, block);
+  b.alu(2);
+  for (u32 k = 0; k < 16; ++k) {
+    AddressPattern p = linear_pattern(arr(0), 8, block.x);
+    p.c_cta_x = 8 * block.x;
+    p.c_cta_y = 8 * block.x * grid.x;
+    p.base += (1ULL << (k % 8)) * 256;  // butterfly distance
+    p.wrap_bytes = kSmall;
+    b.load(p, /*consume=*/false);
+    if (k % 4 == 3) {
+      b.wait_mem();
+      b.sfu(3, /*dep_next=*/true);
+      b.alu(4, /*dep_next=*/true);
+      b.alu(3);
+    }
+  }
+  b.wait_mem();
+  b.alu(4, /*dep_next=*/true);
+  AddressPattern out0 = linear_pattern(arr(1), 8, block.x);
+  out0.c_cta_x = 8 * block.x;
+  out0.c_cta_y = 8 * block.x * grid.x;
+  b.store(out0);
+  AddressPattern out1 = out0;
+  out1.base += 1024;
+  b.store(out1);
+
+  Workload w{"FFT", "FFT", "SHOC", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 16;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+}  // namespace caps::workloads

@@ -1,0 +1,95 @@
+// MRQ and STE: the Parboil [27] benchmarks of Table IV.
+#include "workloads/builders.hpp"
+
+namespace caps::workloads {
+
+// mri-q: seven one-shot strided loads (k-space trajectory + sample data)
+// feeding long SFU (sin/cos) chains. Fig. 4: 0 repeated / 7 total loads.
+Workload make_mrq() {
+  const Dim3 block{256, 1, 1};
+  const Dim3 grid{24, 16, 1};
+
+  KernelBuilder b("mrq", grid, block);
+  b.alu(2);
+  for (u32 k = 0; k < 7; ++k) {
+    AddressPattern p = linear_pattern(arr(k % 4), 4, block.x);
+    p.base += static_cast<Addr>(k) * 1024;
+    p.wrap_bytes = kSmall;
+    b.load(p, /*consume=*/false);
+    if (k % 3 == 2) {
+      b.wait_mem();
+      b.sfu(2, /*dep_next=*/true);
+      b.alu(3, /*dep_next=*/true);
+    }
+  }
+  b.wait_mem();
+  b.sfu(6, /*dep_next=*/true);
+  b.alu(6, /*dep_next=*/true);
+  b.sfu(2);
+  AddressPattern out = linear_pattern(arr(4), 8, block.x);
+  b.store(out);
+
+  Workload w{"MRQ", "mri-q", "Parboil", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 7;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+// stencil: 7-point 3D stencil sweeping z-slices in a loop, in the usual
+// shared-memory tiled form: each iteration stages the current plane plus
+// the z-neighbours, synchronizes, and computes out of shared memory.
+// Fig. 4: 8 repeated / 12 total loads, ~15 iterations (3 in-loop load PCs
+// here; the tiled kernel folds the +-x/+-y taps into shared memory).
+Workload make_ste() {
+  const Dim3 block{32, 4, 1};
+  const Dim3 grid{14, 14, 1};
+  const i64 pitch = 4 * 32 * grid.x;
+  const i64 plane = pitch * 4 * grid.y;
+
+  auto neighbour = [&](i64 offset) {
+    AddressPattern p{};
+    p.base = arr(0) + static_cast<Addr>(2 * plane) + static_cast<Addr>(offset);
+    p.c_tid_x = 4;
+    p.c_tid_y = pitch;
+    p.c_cta_x = 4 * 32;
+    p.c_cta_y = pitch * 4;
+    p.c_iter = plane;
+    p.wrap_bytes = kMedium;
+    return p;
+  };
+
+  KernelBuilder b("ste", grid, block);
+  b.alu(2);
+  // One-shot boundary loads.
+  for (u32 k = 0; k < 4; ++k) {
+    AddressPattern p = neighbour(0);
+    p.base = arr(1) + static_cast<Addr>(k) * 256;
+    p.c_iter = 0;
+    b.load(p, /*consume=*/false);
+  }
+  b.wait_mem();
+  b.loop(12);
+  // Stage centre plane and z-neighbours into shared memory, then compute.
+  b.load(neighbour(0), false);
+  b.load(neighbour(plane), false);
+  b.load(neighbour(-plane), false);
+  b.wait_mem();
+  b.shared_op(3);
+  b.barrier();
+  b.shared_op(2);
+  b.alu(7, /*dep_next=*/true);
+  b.alu(4, /*dep_next=*/true);
+  AddressPattern out = neighbour(0);
+  out.base = arr(2) + static_cast<Addr>(2 * plane);
+  b.store(out);
+  b.end_loop();
+
+  Workload w{"STE", "stencil", "Parboil", false, b.build()};
+  w.paper_repeated_loads = 8;
+  w.paper_total_loads = 12;
+  w.paper_avg_iterations = 15;
+  return w;
+}
+
+}  // namespace caps::workloads

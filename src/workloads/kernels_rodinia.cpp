@@ -1,0 +1,129 @@
+// BPR, HSP and BFS: the Rodinia [20] benchmarks of Table IV.
+#include "workloads/builders.hpp"
+
+namespace caps::workloads {
+
+// backprop layer forward pass: many one-shot strided loads (weights,
+// inputs, hidden units), shared-memory reduction with a barrier.
+// Fig. 4: 0 repeated / 14 total loads.
+Workload make_bpr() {
+  const Dim3 block{16, 16, 1};
+  const Dim3 grid{12, 12, 1};
+  const i64 pitch = 4 * 16 * grid.x;
+
+  KernelBuilder b("bpr", grid, block);
+  b.alu(3);
+  // 14 one-shot loads across weight/input matrices with different row
+  // offsets (the unrolled connections of one layer).
+  for (u32 k = 0; k < 14; ++k) {
+    AddressPattern p{};
+    p.base = arr(k % 3) + static_cast<Addr>(k) * 64;
+    p.c_tid_x = 4;
+    p.c_tid_y = pitch;
+    p.c_cta_x = 4 * 16;
+    p.c_cta_y = pitch * 16;
+    p.wrap_bytes = kSmall;
+    b.load(p, /*consume=*/false);
+    if (k % 4 == 3) {
+      b.wait_mem();
+      b.alu(6, /*dep_next=*/true);
+      b.alu(4, /*dep_next=*/true);
+    }
+  }
+  b.wait_mem();
+  b.alu(8, /*dep_next=*/true);
+  b.shared_op(4);
+  b.barrier();
+  b.shared_op(2);
+  AddressPattern out = linear_pattern(arr(3), 4, block.count());
+  b.store(out);
+
+  Workload w{"BPR", "backprop", "Rodinia", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 14;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+// hotspot: 2D stencil with a deliberately line-misaligned row pitch, so the
+// inter-warp line stride is non-uniform. CAPS detects the mismatch via its
+// misprediction counter and throttles — the paper calls HSP out for exactly
+// this (Section VI-C). Fig. 4: 0 repeated / 2 total loads.
+Workload make_hsp() {
+  const Dim3 block{16, 16, 1};
+  const Dim3 grid{12, 12, 1};
+  const i64 pitch = 1080;  // NOT a multiple of the 128B line size
+
+  AddressPattern temp{};
+  temp.base = arr(0);
+  temp.c_tid_x = 4;
+  temp.c_tid_y = pitch;
+  temp.c_cta_x = 4 * 16;
+  temp.c_cta_y = pitch * 16;
+  temp.wrap_bytes = kSmall;
+  AddressPattern power = temp;
+  power.base = arr(1);
+
+  KernelBuilder b("hsp", grid, block);
+  b.alu(2);
+  b.load(temp, /*consume=*/false);
+  b.load(power, /*consume=*/false);
+  b.wait_mem();
+  b.loop(4);
+  b.alu(10, /*dep_next=*/true);
+  b.alu(6, /*dep_next=*/true);
+  b.alu(2);
+  b.end_loop();
+  AddressPattern out = temp;
+  out.base = arr(2);
+  b.store(out);
+
+  Workload w{"HSP", "hotspot", "Rodinia", false, b.build()};
+  w.paper_repeated_loads = 0;
+  w.paper_total_loads = 2;
+  w.paper_avg_iterations = 1;
+  return w;
+}
+
+// Breadth-First Search: thread-indexed metadata loads (g_graph_mask,
+// g_graph_nodes, g_cost — predictable, Fig. 6b) plus indirect neighbour
+// accesses inside the edge loop (excluded from prefetch by the register-
+// trace oracle). Fig. 4: 5 repeated / 9 total loads.
+Workload make_bfs() {
+  const Dim3 block{256, 1, 1};
+  const Dim3 grid{10, 8, 1};
+  constexpr u64 kGraphBytes = 1ULL << 20;
+
+  AddressPattern mask = linear_pattern(arr(0), 4, block.x);
+  AddressPattern nodes = linear_pattern(arr(1), 8, block.x);
+  AddressPattern cost = linear_pattern(arr(2), 4, block.x);
+
+  AddressPattern edges = indirect_pattern(arr(3), kGraphBytes, /*seed=*/11);
+  AddressPattern visited = indirect_pattern(arr(4), kGraphBytes, /*seed=*/23);
+  AddressPattern cost_wr = indirect_pattern(arr(2), kGraphBytes, /*seed=*/37);
+  AddressPattern upd_mask = indirect_pattern(arr(5), kGraphBytes, /*seed=*/53);
+
+  KernelBuilder b("bfs", grid, block);
+  b.alu(2);
+  b.load(mask);
+  b.load(nodes);
+  b.load(cost, /*consume=*/false);
+  b.wait_mem();
+  b.loop(4);  // edge loop: indirect graph traversal
+  b.load(edges);
+  b.load(visited);
+  b.alu(3, /*dep_next=*/true);
+  b.store(cost_wr);
+  b.end_loop();
+  (void)upd_mask;
+  AddressPattern mask_wr = mask;
+  b.store(mask_wr);
+
+  Workload w{"BFS", "Breadth First Search", "Rodinia", true, b.build()};
+  w.paper_repeated_loads = 5;
+  w.paper_total_loads = 9;
+  w.paper_avg_iterations = 5;
+  return w;
+}
+
+}  // namespace caps::workloads

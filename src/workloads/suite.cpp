@@ -1,0 +1,54 @@
+#include "workloads/workload.hpp"
+
+#include <stdexcept>
+
+#include "workloads/builders.hpp"
+
+namespace caps {
+
+const std::vector<Workload>& workload_suite() {
+  static const std::vector<Workload> suite = [] {
+    using namespace workloads;
+    std::vector<Workload> v;
+    v.push_back(make_cp());
+    v.push_back(make_lps());
+    v.push_back(make_bpr());
+    v.push_back(make_hsp());
+    v.push_back(make_mrq());
+    v.push_back(make_ste());
+    v.push_back(make_cnv());
+    v.push_back(make_hst());
+    v.push_back(make_jc1());
+    v.push_back(make_fft());
+    v.push_back(make_scn());
+    v.push_back(make_mm());
+    v.push_back(make_pvr());
+    v.push_back(make_ccl());
+    v.push_back(make_bfs());
+    v.push_back(make_km());
+    return v;
+  }();
+  return suite;
+}
+
+const Workload& find_workload(const std::string& abbr) {
+  for (const Workload& w : workload_suite())
+    if (w.abbr == abbr) return w;
+  throw std::out_of_range("unknown workload: " + abbr);
+}
+
+std::vector<std::string> regular_workload_names() {
+  std::vector<std::string> names;
+  for (const Workload& w : workload_suite())
+    if (!w.irregular) names.push_back(w.abbr);
+  return names;
+}
+
+std::vector<std::string> irregular_workload_names() {
+  std::vector<std::string> names;
+  for (const Workload& w : workload_suite())
+    if (w.irregular) names.push_back(w.abbr);
+  return names;
+}
+
+}  // namespace caps

@@ -1,0 +1,43 @@
+// Workload descriptors: one synthetic kernel per benchmark in Table IV.
+//
+// Each kernel reproduces the published *address behaviour* of its namesake:
+// launch geometry, number of static loads, how many of them re-execute in
+// loops (Fig. 4), affine thread/CTA-indexed access patterns (Section IV),
+// and indirect data-dependent accesses for the four irregular benchmarks.
+// Loop trip counts are scaled down (documented per workload) so a full
+// 8-configuration sweep stays within CI-scale runtime; the scaling factor
+// is recorded so Fig. 4 can report both measured and paper values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hpp"
+
+namespace caps {
+
+struct Workload {
+  std::string abbr;       ///< paper abbreviation (Table IV)
+  std::string full_name;
+  std::string suite;      ///< benchmark suite of origin
+  bool irregular = false; ///< PVR/CCL/BFS/KM (graph/MapReduce style)
+  Kernel kernel;
+
+  // Fig. 4 reference data from the paper: loads-in-loops / total loads (by
+  // PC) and the average iteration count of the hottest loads.
+  u32 paper_repeated_loads = 0;
+  u32 paper_total_loads = 0;
+  u32 paper_avg_iterations = 1;
+};
+
+/// All 16 benchmarks in Table IV order.
+const std::vector<Workload>& workload_suite();
+
+/// Lookup by abbreviation (throws std::out_of_range if unknown).
+const Workload& find_workload(const std::string& abbr);
+
+/// The 12 regular / 4 irregular split used for Fig. 10's mean columns.
+std::vector<std::string> regular_workload_names();
+std::vector<std::string> irregular_workload_names();
+
+}  // namespace caps

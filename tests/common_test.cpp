@@ -1,0 +1,191 @@
+// Unit tests for src/common: types, config validation, bounded queue,
+// running statistics, deterministic hashing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bounded_queue.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace caps {
+namespace {
+
+TEST(Dim3Test, CountMultipliesComponents) {
+  EXPECT_EQ((Dim3{4, 3, 2}.count()), 24u);
+  EXPECT_EQ((Dim3{1, 1, 1}.count()), 1u);
+  EXPECT_EQ((Dim3{7}.count()), 7u);
+}
+
+TEST(Dim3Test, FlattenUnflattenRoundTrip) {
+  const Dim3 extent{5, 4, 3};
+  for (u32 flat = 0; flat < extent.count(); ++flat) {
+    const Dim3 id = unflatten(flat, extent);
+    EXPECT_LT(id.x, extent.x);
+    EXPECT_LT(id.y, extent.y);
+    EXPECT_LT(id.z, extent.z);
+    EXPECT_EQ(flatten(id, extent), flat);
+  }
+}
+
+TEST(Dim3Test, FlattenXFastest) {
+  const Dim3 extent{8, 8, 1};
+  EXPECT_EQ(flatten(Dim3{1, 0, 0}, extent), 1u);
+  EXPECT_EQ(flatten(Dim3{0, 1, 0}, extent), 8u);
+}
+
+TEST(TypesTest, LineBaseAlignsDown) {
+  EXPECT_EQ(line_base(0, 128), 0u);
+  EXPECT_EQ(line_base(127, 128), 0u);
+  EXPECT_EQ(line_base(128, 128), 128u);
+  EXPECT_EQ(line_base(0x1000'0042, 128), 0x1000'0000u);
+}
+
+TEST(ConfigTest, DefaultsAreValid) {
+  GpuConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigTest, TableIIIDefaults) {
+  // Spot-check the paper's Table III values.
+  GpuConfig cfg;
+  EXPECT_EQ(cfg.num_sms, 15u);
+  EXPECT_EQ(cfg.core_clock_mhz, 1400u);
+  EXPECT_EQ(cfg.max_warps_per_sm, 48u);
+  EXPECT_EQ(cfg.max_ctas_per_sm, 8u);
+  EXPECT_EQ(cfg.ready_queue_size, 8u);
+  EXPECT_EQ(cfg.l1d.size_bytes, 16u * 1024);
+  EXPECT_EQ(cfg.l1d.line_size, 128u);
+  EXPECT_EQ(cfg.l1d.assoc, 4u);
+  EXPECT_EQ(cfg.l1d.mshr_entries, 32u);
+  EXPECT_EQ(cfg.num_l2_partitions, 12u);
+  EXPECT_EQ(cfg.l2.size_bytes, 64u * 1024);
+  EXPECT_EQ(cfg.l2.assoc, 8u);
+  EXPECT_EQ(cfg.num_dram_channels, 6u);
+  EXPECT_EQ(cfg.dram_clock_mhz, 924u);
+  EXPECT_EQ(cfg.dram_queue_size, 16u);
+  EXPECT_EQ(cfg.dram_timing.tCL, 12u);
+  EXPECT_EQ(cfg.dram_timing.tRP, 12u);
+  EXPECT_EQ(cfg.dram_timing.tRC, 40u);
+  EXPECT_EQ(cfg.dram_timing.tRAS, 28u);
+  EXPECT_EQ(cfg.dram_timing.tRCD, 12u);
+  EXPECT_EQ(cfg.dram_timing.tRRD, 6u);
+  EXPECT_EQ(cfg.caps.percta_entries, 4u);
+  EXPECT_EQ(cfg.caps.dist_entries, 4u);
+  EXPECT_EQ(cfg.caps.mispredict_threshold, 128u);
+}
+
+TEST(ConfigTest, RejectsBadCacheGeometry) {
+  GpuConfig cfg;
+  cfg.l1d.line_size = 100;  // not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsZeroSms) {
+  GpuConfig cfg;
+  cfg.num_sms = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsMismatchedLineSizes) {
+  GpuConfig cfg;
+  cfg.l2.line_size = 256;
+  cfg.l2.size_bytes = 64 * 1024;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsPartitionChannelMismatch) {
+  GpuConfig cfg;
+  cfg.num_dram_channels = 5;  // 12 % 5 != 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsChunkSmallerThanLine) {
+  GpuConfig cfg;
+  cfg.partition_chunk_bytes = 64;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, DramClockRatioScalesToCore) {
+  GpuConfig cfg;
+  EXPECT_NEAR(cfg.dram_clock_ratio(), 1400.0 / 924.0, 1e-9);
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(3);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  q.push(4);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueueTest, CapacityIsHardLimit) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  EXPECT_FALSE(q.full());
+  q.push(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeCombines) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(RunningStatTest, MergeWithEmptyKeepsBounds) {
+  RunningStat a, empty;
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(RatioTest, HandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(1, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+}
+
+TEST(RngTest, Mix64IsDeterministicAndDispersive) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Adjacent inputs should differ in many bits.
+  const u64 d = mix64(100) ^ mix64(101);
+  EXPECT_GT(std::popcount(d), 10);
+}
+
+TEST(RngTest, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2, 3), hash_combine(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace caps

@@ -1,0 +1,175 @@
+// Tests for the experiment harness: table rendering, the energy model, and
+// the Fig. 1 / Fig. 4 trace analyses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/energy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/tables.hpp"
+#include "harness/trace_analysis.hpp"
+
+namespace caps {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1,,\n");
+}
+
+TEST(TableTest, WritesCsvFile) {
+  Table t({"x"});
+  t.add_row({"42"});
+  const std::string path = "/tmp/capsim_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+TEST(FormatTest, Helpers) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_percent(0.974, 1), "97.4%");
+}
+
+TEST(CsvArgTest, ParsesFlag) {
+  const char* argv[] = {"prog", "--csv", "/tmp/x.csv"};
+  EXPECT_EQ(parse_csv_arg(3, const_cast<char**>(argv)), "/tmp/x.csv");
+  EXPECT_EQ(parse_csv_arg(1, const_cast<char**>(argv)), "");
+}
+
+TEST(EnergyTest, MoreEventsMoreEnergy) {
+  EnergyModel m;
+  GpuConfig cfg;
+  GpuStats a;
+  a.cycles = 1000;
+  a.sm.issued_instructions = 1000;
+  GpuStats b = a;
+  b.dram.reads = 500;
+  EXPECT_GT(m.total_uj(b, cfg, false), m.total_uj(a, cfg, false));
+}
+
+TEST(EnergyTest, CapsTablesAddMeasurableButSmallEnergy) {
+  EnergyModel m;
+  GpuConfig cfg;
+  GpuStats s;
+  s.cycles = 100000;
+  s.sm.issued_instructions = 100000;
+  s.pf_engine.table_reads = 5000;
+  s.pf_engine.table_writes = 2000;
+  const double without = m.total_uj(s, cfg, false);
+  const double with = m.total_uj(s, cfg, true);
+  EXPECT_GT(with, without);
+  EXPECT_LT((with - without) / without, 0.02);  // tables are ~free
+}
+
+TEST(EnergyTest, StaticEnergyScalesWithCycles) {
+  EnergyModel m;
+  GpuConfig cfg;
+  GpuStats fast, slow;
+  fast.cycles = 1000;
+  slow.cycles = 2000;
+  EXPECT_GT(m.total_uj(slow, cfg, false), m.total_uj(fast, cfg, false));
+}
+
+TEST(TraceAnalysisTest, HottestPcSelection) {
+  LoadTraceCollector c;
+  auto hook = c.hook();
+  LoadTraceEvent e{};
+  e.pc = 0x10;
+  hook(e);
+  hook(e);
+  e.pc = 0x20;
+  hook(e);
+  EXPECT_EQ(c.hottest_pc(), 0x10u);
+}
+
+TEST(TraceAnalysisTest, StrideDistanceDetectsCtaBoundary) {
+  // Synthetic trace mirroring Fig. 1: one SM, 2 CTAs of 4 warps. Warp
+  // addresses stride by 256 within a CTA; the second CTA's base is offset
+  // by a non-multiple amount, so distances crossing the boundary mispredict.
+  std::vector<LoadTraceEvent> events;
+  auto add = [&](u32 slot, u32 cta, Addr addr, Cycle cyc) {
+    LoadTraceEvent e{};
+    e.sm_id = 0;
+    e.pc = 0x40;
+    e.cta_flat = cta;
+    e.warp_slot = slot;
+    e.first_line = addr;
+    e.cycle = cyc;
+    events.push_back(e);
+  };
+  for (u32 w = 0; w < 4; ++w) add(w, 0, 0x10000 + w * 256, 10 * w);
+  for (u32 w = 0; w < 4; ++w) add(4 + w, 7, 0x95000 + w * 256, 100 + 10 * w);
+
+  auto pts = analyze_stride_distance(events, 0x40, 7, 4);
+  ASSERT_EQ(pts.size(), 7u);
+  // Distance 1: 6 of 7 pairs correct (the one crossing CTAs is wrong).
+  EXPECT_EQ(pts[0].distance, 1u);
+  EXPECT_EQ(pts[0].pairs, 7u);
+  EXPECT_NEAR(pts[0].accuracy, 6.0 / 7.0, 1e-9);
+  // Distance 4: every pair crosses the CTA boundary -> accuracy 0.
+  EXPECT_EQ(pts[3].pairs, 4u);
+  EXPECT_DOUBLE_EQ(pts[3].accuracy, 0.0);
+  // Gap grows with distance.
+  EXPECT_GT(pts[3].gap_cycles, pts[0].gap_cycles);
+}
+
+TEST(TraceAnalysisTest, FirstExecutionOnlyIsKept) {
+  std::vector<LoadTraceEvent> events;
+  LoadTraceEvent e{};
+  e.pc = 0x40;
+  e.warp_slot = 0;
+  e.first_line = 0x1000;
+  events.push_back(e);
+  e.first_line = 0x9999;  // second execution of the same slot: ignored
+  events.push_back(e);
+  e.warp_slot = 1;
+  e.first_line = 0x1100;
+  events.push_back(e);
+  auto pts = analyze_stride_distance(events, 0x40, 1, 4);
+  EXPECT_DOUBLE_EQ(pts[0].accuracy, 1.0);  // 0x1000 -> 0x1100 stride held
+}
+
+TEST(TraceAnalysisTest, CollectorHooksIntoARealRun) {
+  LoadTraceCollector c;
+  RunConfig rc;
+  rc.workload = "MM";
+  rc.base.num_sms = 2;
+  run_experiment(rc, c.hook());
+  EXPECT_GT(c.events().size(), 100u);
+  EXPECT_NE(c.hottest_pc(), 0u);
+}
+
+TEST(RunAllPrefetchersTest, ReturnsLegendOrder) {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  const auto results = run_all_prefetchers("SCN", cfg);
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_EQ(results[0].cfg.prefetcher, PrefetcherKind::kNone);
+  EXPECT_EQ(results[7].cfg.prefetcher, PrefetcherKind::kCaps);
+  for (const RunResult& r : results) EXPECT_FALSE(r.stats.hit_cycle_limit);
+}
+
+}  // namespace
+}  // namespace caps

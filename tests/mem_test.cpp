@@ -1,0 +1,413 @@
+// Unit tests for the memory substrate: cache, MSHR, crossbar, DRAM channel,
+// L2 partition, and the composed MemorySystem.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/memory_system.hpp"
+#include "mem/mshr.hpp"
+
+namespace caps {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 8 lines
+  c.line_size = 128;
+  c.assoc = 2;          // 4 sets
+  return c;
+}
+
+TEST(CacheTest, MissThenFillThenHit) {
+  SetAssocCache c(small_cache());
+  EXPECT_EQ(c.access(0), CacheOutcome::kMiss);
+  c.fill(0, LineMeta{});
+  EXPECT_EQ(c.access(0), CacheOutcome::kHit);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_EQ(c.valid_lines(), 1u);
+}
+
+TEST(CacheTest, LruEvictionWithinSet) {
+  SetAssocCache c(small_cache());
+  // Lines 0, 512, 1024 all map to set 0 (4 sets * 128B).
+  c.fill(0, LineMeta{});
+  c.fill(512, LineMeta{});
+  c.access(0);  // make 512 the LRU way
+  auto evicted = c.fill(1024, LineMeta{});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 512u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(1024));
+}
+
+TEST(CacheTest, FillExistingRefreshesMetadata) {
+  SetAssocCache c(small_cache());
+  LineMeta pf;
+  pf.prefetched = true;
+  pf.pf_issue_cycle = 7;
+  c.fill(0, LineMeta{});
+  EXPECT_FALSE(c.fill(0, pf).has_value());
+  EXPECT_TRUE(c.find_meta(0)->prefetched);
+}
+
+TEST(CacheTest, InvalidateRemovesLine) {
+  SetAssocCache c(small_cache());
+  c.fill(0, LineMeta{});
+  auto meta = c.invalidate(0);
+  EXPECT_TRUE(meta.has_value());
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.invalidate(0).has_value());
+}
+
+TEST(CacheTest, EvictionReturnsPrefetchMeta) {
+  SetAssocCache c(small_cache());
+  LineMeta pf;
+  pf.prefetched = true;
+  c.fill(0, pf);
+  c.fill(512, LineMeta{});
+  auto evicted = c.fill(1024, LineMeta{});  // evicts line 0 (LRU)
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->second.prefetched);
+}
+
+/// Randomized oracle check: the cache agrees with a reference model on
+/// hit/miss for arbitrary access/fill interleavings, per config.
+class CacheOracleTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CacheOracleTest, MatchesReferenceModel) {
+  CacheConfig cfg;
+  cfg.size_bytes = 2048;
+  cfg.line_size = 128;
+  cfg.assoc = GetParam();
+  SetAssocCache c(cfg);
+
+  struct RefWay {
+    Addr line;
+    u64 lru;
+  };
+  std::unordered_map<u32, std::vector<RefWay>> ref;  // set -> ways
+  const u32 sets = cfg.num_sets();
+  u64 clock = 0;
+
+  std::mt19937_64 rng(1234 + cfg.assoc);
+  for (int i = 0; i < 4000; ++i) {
+    const Addr line = (rng() % 64) * 128;
+    const u32 set = static_cast<u32>((line / 128) % sets);
+    auto& ways = ref[set];
+    auto it = std::find_if(ways.begin(), ways.end(),
+                           [&](const RefWay& w) { return w.line == line; });
+    const bool ref_hit = it != ways.end();
+    EXPECT_EQ(c.access(line) == CacheOutcome::kHit, ref_hit) << "iter " << i;
+    if (ref_hit) {
+      it->lru = ++clock;
+    } else {
+      // Model the controller: fill after miss.
+      c.fill(line, LineMeta{});
+      if (ways.size() < cfg.assoc) {
+        ways.push_back({line, ++clock});
+      } else {
+        auto victim = std::min_element(
+            ways.begin(), ways.end(),
+            [](const RefWay& a, const RefWay& b) { return a.lru < b.lru; });
+        *victim = {line, ++clock};
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheOracleTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(MshrTest, AllocateMergeFill) {
+  Mshr<int> m(4, 3);
+  m.allocate(0x100, 1);
+  EXPECT_TRUE(m.has(0x100));
+  EXPECT_TRUE(m.can_merge(0x100));
+  m.merge(0x100, 2);
+  m.merge(0x100, 3);
+  EXPECT_FALSE(m.can_merge(0x100));  // max_merged = 3
+  auto waiters = m.fill(0x100);
+  EXPECT_EQ(waiters, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(m.has(0x100));
+}
+
+TEST(MshrTest, FullAtCapacity) {
+  Mshr<int> m(2, 4);
+  m.allocate(0x100, 1);
+  EXPECT_FALSE(m.full());
+  m.allocate(0x200, 2);
+  EXPECT_TRUE(m.full());
+  m.fill(0x100);
+  EXPECT_FALSE(m.full());
+}
+
+TEST(MshrTest, PrefetchEntryFlag) {
+  Mshr<int> m(4, 4);
+  m.allocate(0x100, 1, /*by_prefetch=*/true);
+  m.allocate(0x200, 2, /*by_prefetch=*/false);
+  EXPECT_TRUE(m.is_prefetch_entry(0x100));
+  EXPECT_FALSE(m.is_prefetch_entry(0x200));
+  // Merging a demand does not clear the allocation origin.
+  m.merge(0x100, 3);
+  EXPECT_TRUE(m.is_prefetch_entry(0x100));
+}
+
+TEST(CrossbarTest, LatencyIsRespected) {
+  Crossbar x(2, /*latency=*/10, /*queue=*/4);
+  MemRequest req;
+  req.id = 1;
+  x.push(0, req, /*now=*/100);
+  MemRequest out;
+  EXPECT_FALSE(x.pop(0, 105, out));
+  EXPECT_FALSE(x.pop(0, 109, out));
+  EXPECT_TRUE(x.pop(0, 110, out));
+  EXPECT_EQ(out.id, 1u);
+}
+
+TEST(CrossbarTest, FifoPerDestination) {
+  Crossbar x(1, 1, 8);
+  for (u64 i = 0; i < 4; ++i) {
+    MemRequest r;
+    r.id = i;
+    x.push(0, r, 0);
+  }
+  MemRequest out;
+  for (u64 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(x.pop(0, 100, out));
+    EXPECT_EQ(out.id, i);
+  }
+  EXPECT_TRUE(x.idle());
+}
+
+TEST(CrossbarTest, CapacityGatesAcceptance) {
+  Crossbar x(1, 1, 2);
+  MemRequest r;
+  EXPECT_TRUE(x.can_accept(0));
+  x.push(0, r, 0);
+  x.push(0, r, 0);
+  EXPECT_FALSE(x.can_accept(0));
+}
+
+class DramTest : public ::testing::Test {
+ protected:
+  GpuConfig cfg_;
+  std::vector<MemRequest> done_;
+  Cycle t_ = 0;  ///< persistent clock across run_until calls
+
+  std::unique_ptr<DramChannel> make() {
+    done_.clear();
+    t_ = 0;
+    return std::make_unique<DramChannel>(
+        cfg_, [this](const MemRequest& r) { done_.push_back(r); });
+  }
+
+  /// Advance the channel clock until `n` requests have completed; returns
+  /// the number of cycles consumed by this call.
+  Cycle run_until(DramChannel& ch, std::size_t n, Cycle limit = 100000) {
+    const Cycle start = t_;
+    while (done_.size() < n && t_ - start < limit) ch.cycle(t_++);
+    return t_ - start;
+  }
+};
+
+TEST_F(DramTest, ServesARead) {
+  auto ch = make();
+  MemRequest r;
+  r.line = 0x1000;
+  ch->submit(r);
+  run_until(*ch, 1);
+  ASSERT_EQ(done_.size(), 1u);
+  EXPECT_EQ(done_[0].line, 0x1000u);
+  EXPECT_EQ(ch->stats().row_misses, 1u);
+}
+
+TEST_F(DramTest, RowHitsAreFasterThanMisses) {
+  auto ch = make();
+  // Two accesses to the same row.
+  MemRequest a, b;
+  a.line = 0;
+  b.line = 128;  // same 2KB row
+  ch->submit(a);
+  const Cycle t1 = run_until(*ch, 1);
+  ch->submit(b);
+  const Cycle t2 = run_until(*ch, 2);  // cycles consumed by this call
+  EXPECT_EQ(ch->stats().row_hits, 1u);
+  EXPECT_EQ(ch->stats().row_misses, 1u);
+  EXPECT_LT(t2, t1);
+}
+
+TEST_F(DramTest, FrFcfsPrefersRowHit) {
+  auto ch = make();
+  // Open row 0 by serving line 0 first.
+  MemRequest warm;
+  warm.line = 0;
+  ch->submit(warm);
+  run_until(*ch, 1);
+  // Now submit: a row-miss (different row, same bank) then a row-hit.
+  MemRequest miss, hit;
+  miss.line = 2048ULL * 16;  // same bank (16 banks), different row
+  hit.line = 256;            // row 0 again
+  ch->submit(miss);
+  ch->submit(hit);
+  run_until(*ch, 3);
+  ASSERT_EQ(done_.size(), 3u);
+  // The row hit must have been served before the older row miss.
+  EXPECT_EQ(done_[1].line, 256u);
+  EXPECT_EQ(done_[2].line, 2048ULL * 16);
+}
+
+TEST_F(DramTest, BankParallelismBeatsSerialBank) {
+  // N requests to N different banks vs N requests to one bank.
+  auto ch1 = make();
+  for (u32 i = 0; i < 8; ++i) {
+    MemRequest r;
+    r.line = static_cast<Addr>(i) * 2048;  // different banks
+    ch1->submit(r);
+  }
+  const Cycle par = run_until(*ch1, 8);
+
+  auto ch2 = make();
+  for (u32 i = 0; i < 8; ++i) {
+    MemRequest r;
+    r.line = static_cast<Addr>(i) * 2048 * 16;  // same bank, different rows
+    ch2->submit(r);
+  }
+  const Cycle ser = run_until(*ch2, 8);
+  EXPECT_LT(par, ser);
+}
+
+TEST_F(DramTest, QueueCapacityIsEnforced) {
+  auto ch = make();
+  for (u32 i = 0; i < cfg_.dram_queue_size; ++i) {
+    ASSERT_TRUE(ch->can_accept());
+    MemRequest r;
+    r.line = i * 128;
+    ch->submit(r);
+  }
+  EXPECT_FALSE(ch->can_accept());
+}
+
+TEST_F(DramTest, CountsReadsAndWrites) {
+  auto ch = make();
+  MemRequest rd, wr;
+  rd.line = 0;
+  wr.line = 4096;
+  wr.is_write = true;
+  ch->submit(rd);
+  ch->submit(wr);
+  run_until(*ch, 2);
+  EXPECT_EQ(ch->stats().reads, 1u);
+  EXPECT_EQ(ch->stats().writes, 1u);
+}
+
+TEST(MemorySystemTest, PartitionMappingIsChunked) {
+  GpuConfig cfg;
+  MemorySystem mem(cfg);
+  // All lines within one chunk go to the same partition.
+  const u32 p0 = mem.partition_of(0);
+  EXPECT_EQ(mem.partition_of(128), p0);
+  EXPECT_EQ(mem.partition_of(cfg.partition_chunk_bytes - 128), p0);
+  EXPECT_NE(mem.partition_of(cfg.partition_chunk_bytes), p0);
+  // Mapping covers all partitions.
+  std::set<u32> seen;
+  for (u32 c = 0; c < cfg.num_l2_partitions; ++c)
+    seen.insert(mem.partition_of(static_cast<Addr>(c) * cfg.partition_chunk_bytes));
+  EXPECT_EQ(seen.size(), cfg.num_l2_partitions);
+}
+
+TEST(MemorySystemTest, ReadRoundTrip) {
+  GpuConfig cfg;
+  MemorySystem mem(cfg);
+  MemRequest req;
+  req.id = 42;
+  req.line = 0x1000;
+  req.sm_id = 3;
+  ASSERT_TRUE(mem.can_accept(req.line));
+  mem.submit(req, 0);
+  MemRequest reply;
+  bool got = false;
+  for (Cycle t = 0; t < 5000 && !got; ++t) {
+    mem.cycle(t);
+    got = mem.pop_reply(3, t, reply);
+  }
+  ASSERT_TRUE(got);
+  EXPECT_EQ(reply.id, 42u);
+  EXPECT_EQ(reply.line, 0x1000u);
+  EXPECT_EQ(mem.traffic().core_requests, 1u);
+  EXPECT_EQ(mem.traffic().core_demand_requests, 1u);
+  EXPECT_EQ(mem.dram_stats().reads, 1u);
+}
+
+TEST(MemorySystemTest, SecondReadHitsInL2) {
+  GpuConfig cfg;
+  MemorySystem mem(cfg);
+  auto round_trip = [&](u64 id, Cycle start) {
+    MemRequest req;
+    req.id = id;
+    req.line = 0x2000;
+    req.sm_id = 0;
+    mem.submit(req, start);
+    MemRequest reply;
+    Cycle t = start;
+    for (; t < start + 5000; ++t) {
+      mem.cycle(t);
+      if (mem.pop_reply(0, t, reply)) break;
+    }
+    return t - start;
+  };
+  const Cycle cold = round_trip(1, 0);
+  const Cycle warm = round_trip(2, 10000);
+  EXPECT_LT(warm, cold);
+  EXPECT_EQ(mem.l2_stats().hits, 1u);
+  EXPECT_EQ(mem.dram_stats().reads, 1u);
+}
+
+TEST(MemorySystemTest, WritesProduceNoReply) {
+  GpuConfig cfg;
+  MemorySystem mem(cfg);
+  MemRequest wr;
+  wr.line = 0x3000;
+  wr.is_write = true;
+  wr.sm_id = 1;
+  mem.submit(wr, 0);
+  MemRequest reply;
+  for (Cycle t = 0; t < 3000; ++t) {
+    mem.cycle(t);
+    EXPECT_FALSE(mem.pop_reply(1, t, reply));
+  }
+  EXPECT_TRUE(mem.idle());
+  EXPECT_EQ(mem.traffic().core_write_requests, 1u);
+}
+
+TEST(MemorySystemTest, DirtyLinesWriteBackOnEviction) {
+  GpuConfig cfg;
+  // Shrink L2 so evictions happen quickly.
+  cfg.l2.size_bytes = 2 * 1024;
+  cfg.l2.assoc = 2;
+  MemorySystem mem(cfg);
+  // Write many distinct lines mapping to partition 0's slice.
+  Cycle t = 0;
+  for (u32 i = 0; i < 64; ++i) {
+    const Addr line = static_cast<Addr>(i) * cfg.partition_chunk_bytes *
+                      cfg.num_l2_partitions;  // all partition 0, distinct sets
+    MemRequest wr;
+    wr.line = line;
+    wr.is_write = true;
+    while (!mem.can_accept(line)) mem.cycle(t++);
+    mem.submit(wr, t);
+    mem.cycle(t++);
+  }
+  for (Cycle end = t + 20000; t < end && !mem.idle(); ++t) mem.cycle(t);
+  EXPECT_GT(mem.l2_stats().writebacks, 0u);
+  EXPECT_GT(mem.dram_stats().writes, 0u);
+}
+
+}  // namespace
+}  // namespace caps

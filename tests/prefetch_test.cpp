@@ -1,0 +1,267 @@
+// Tests for the baseline prefetch engines (INTRA/INTER/MTA/NLP/LAP) and the
+// shared stride table.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prefetch/factory.hpp"
+#include "prefetch/intra_warp.hpp"
+#include "prefetch/inter_warp.hpp"
+#include "prefetch/lap.hpp"
+#include "prefetch/mta.hpp"
+#include "prefetch/nlp.hpp"
+#include "prefetch/stride_table.hpp"
+
+namespace caps {
+namespace {
+
+LoadIssueInfo make_info(Addr pc, u32 warp_slot, std::vector<Addr>& lines,
+                        u32 iteration = 0) {
+  LoadIssueInfo info;
+  info.pc = pc;
+  info.warp_slot = warp_slot;
+  info.warp_in_cta = warp_slot % 8;
+  info.warps_in_cta = 8;
+  info.lines = lines;
+  info.iteration = iteration;
+  return info;
+}
+
+// ----------------------------------------------------------- StrideTable ---
+
+TEST(StrideTableTest, ConfidenceBuildsOnRepeatedStride) {
+  StrideTable t(8);
+  EXPECT_EQ(t.observe(1, 0x1000).confidence, 0u);
+  EXPECT_EQ(t.observe(1, 0x1100).confidence, 1u);  // first stride observed
+  EXPECT_EQ(t.observe(1, 0x1200).confidence, 2u);  // confirmed
+  EXPECT_EQ(t.observe(1, 0x1300).confidence, 3u);  // saturates at 3
+  EXPECT_EQ(t.observe(1, 0x1400).confidence, 3u);
+}
+
+TEST(StrideTableTest, StrideChangeResetsConfidence) {
+  StrideTable t(8);
+  t.observe(1, 0x1000);
+  t.observe(1, 0x1100);
+  t.observe(1, 0x1200);
+  const auto& e = t.observe(1, 0x5000);  // different stride
+  EXPECT_EQ(e.confidence, 1u);
+  EXPECT_EQ(e.stride, 0x5000 - 0x1200);
+}
+
+TEST(StrideTableTest, LruEvictionWhenFull) {
+  StrideTable t(2);
+  t.observe(1, 0x1000);
+  t.observe(2, 0x2000);
+  t.find(1);             // refresh key 1
+  t.observe(3, 0x3000);  // evicts key 2
+  EXPECT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(2), nullptr);
+  EXPECT_NE(t.find(3), nullptr);
+}
+
+// ----------------------------------------------------------------- INTRA ---
+
+TEST(IntraWarpTest, PrefetchesAfterConfirmedLoopStride) {
+  GpuConfig cfg;
+  IntraWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  std::vector<Addr> l0{0x10000}, l1{0x11000}, l2{0x12000};
+  pf.on_load_issue(make_info(0x40, 3, l0, 0), out);
+  EXPECT_TRUE(out.empty());
+  pf.on_load_issue(make_info(0x40, 3, l1, 1), out);
+  EXPECT_TRUE(out.empty());  // confidence 1: not yet
+  pf.on_load_issue(make_info(0x40, 3, l2, 2), out);
+  ASSERT_EQ(out.size(), cfg.baseline_pf.degree);
+  EXPECT_EQ(out[0].line, 0x13000u);  // next iterations
+  EXPECT_EQ(out[1].line, 0x14000u);
+  EXPECT_EQ(out[0].target_warp_slot, 3);  // prefetches for itself
+}
+
+TEST(IntraWarpTest, NoPrefetchForSingleShotLoads) {
+  GpuConfig cfg;
+  IntraWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  // Different PCs never retrain the same entry.
+  for (Addr pc = 0; pc < 8; ++pc) {
+    std::vector<Addr> l{0x10000 + pc * 0x1000};
+    pf.on_load_issue(make_info(0x100 + pc * 8, 0, l), out);
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntraWarpTest, PerWarpStateIsIndependent) {
+  GpuConfig cfg;
+  IntraWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  // Warp 0 and warp 1 interleave with different strides on the same PC.
+  for (u32 i = 0; i < 3; ++i) {
+    std::vector<Addr> a{0x10000 + i * 0x100};
+    std::vector<Addr> b{0x80000 + i * 0x200};
+    pf.on_load_issue(make_info(0x40, 0, a, i), out);
+    pf.on_load_issue(make_info(0x40, 1, b, i), out);
+  }
+  ASSERT_EQ(out.size(), 2 * cfg.baseline_pf.degree);
+  EXPECT_EQ(out[0].line, 0x10000u + 3 * 0x100);
+  EXPECT_EQ(out[2].line, 0x80000u + 3 * 0x200);
+}
+
+// ----------------------------------------------------------------- INTER ---
+
+TEST(InterWarpTest, DetectsInterWarpStride) {
+  GpuConfig cfg;
+  InterWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  std::vector<Addr> l0{0x10000}, l1{0x10800}, l2{0x11000};
+  pf.on_load_issue(make_info(0x40, 0, l0), out);
+  pf.on_load_issue(make_info(0x40, 1, l1), out);  // stride 2048, conf 1
+  EXPECT_TRUE(out.empty());
+  pf.on_load_issue(make_info(0x40, 2, l2), out);  // conf 2 -> prefetch
+  ASSERT_EQ(out.size(), cfg.baseline_pf.degree);
+  EXPECT_EQ(out[0].line, 0x11800u);  // warp 3
+  EXPECT_EQ(out[0].target_warp_slot, 3);
+  EXPECT_EQ(out[1].line, 0x12000u);  // warp 4
+}
+
+TEST(InterWarpTest, IsCtaAgnosticByDesign) {
+  // The engine predicts across warp slots regardless of CTA: with a
+  // non-matching base in the next CTA the prediction is simply wrong.
+  // Here we just assert it *does* produce predictions past slot 7 (a CTA
+  // boundary for 8-warp CTAs) — the inaccuracy shows up in Figs. 1/12.
+  GpuConfig cfg;
+  InterWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  for (u32 w = 5; w <= 7; ++w) {
+    std::vector<Addr> l{0x10000 + w * 2048};
+    pf.on_load_issue(make_info(0x40, w, l), out);
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].target_warp_slot, 8);  // crosses into the next CTA
+}
+
+TEST(InterWarpTest, StopsAtLastWarpSlot) {
+  GpuConfig cfg;
+  InterWarpPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  for (u32 w = 45; w <= 47; ++w) {
+    std::vector<Addr> l{0x10000 + w * 128};
+    pf.on_load_issue(make_info(0x40, w, l), out);
+  }
+  EXPECT_TRUE(out.empty());  // no slots beyond 47
+}
+
+// ------------------------------------------------------------------- MTA ---
+
+TEST(MtaTest, PrefersIntraModeForLoopingLoads) {
+  GpuConfig cfg;
+  MtaPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  for (u32 i = 0; i < 3; ++i) {
+    std::vector<Addr> l{0x10000 + i * 0x400};
+    out.clear();
+    pf.on_load_issue(make_info(0x40, 2, l, i), out);
+  }
+  ASSERT_EQ(out.size(), cfg.baseline_pf.degree);
+  // Intra-mode: prefetch for the same warp, next iterations.
+  EXPECT_EQ(out[0].target_warp_slot, 2);
+  EXPECT_EQ(out[0].line, 0x10000u + 3 * 0x400);
+}
+
+TEST(MtaTest, FallsBackToInterForOneShotLoads) {
+  GpuConfig cfg;
+  MtaPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  for (u32 w = 0; w <= 2; ++w) {
+    std::vector<Addr> l{0x20000 + w * 1024};
+    out.clear();
+    pf.on_load_issue(make_info(0x48, w, l), out);
+  }
+  ASSERT_EQ(out.size(), cfg.baseline_pf.degree);
+  EXPECT_EQ(out[0].target_warp_slot, 3);  // inter mode: next warps
+  EXPECT_EQ(out[0].line, 0x20000u + 3 * 1024);
+}
+
+// ------------------------------------------------------------------- NLP ---
+
+TEST(NlpTest, PrefetchesNextLineOnMiss) {
+  GpuConfig cfg;
+  NextLinePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  pf.on_demand_miss(0x10000, 0x40, 5, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].line, 0x10000u + cfg.l1d.line_size);
+  EXPECT_EQ(out[0].target_warp_slot, 5);
+}
+
+TEST(NlpTest, IgnoresLoadIssues) {
+  GpuConfig cfg;
+  NextLinePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  std::vector<Addr> l{0x10000};
+  pf.on_load_issue(make_info(0x40, 0, l), out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------------------------- LAP ---
+
+TEST(LapTest, TriggersAtMissThresholdWithinMacroBlock) {
+  GpuConfig cfg;  // macro block = 4 lines, threshold = 2
+  LocalityAwarePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  pf.on_demand_miss(0x10000, 0x40, 1, out);  // line 0 of block
+  EXPECT_TRUE(out.empty());
+  pf.on_demand_miss(0x10000 + 256, 0x40, 2, out);  // line 2 of block
+  ASSERT_EQ(out.size(), 2u);  // remaining lines 1 and 3
+  std::set<Addr> lines{out[0].line, out[1].line};
+  EXPECT_TRUE(lines.contains(0x10000u + 128));
+  EXPECT_TRUE(lines.contains(0x10000u + 384));
+}
+
+TEST(LapTest, DistinctBlocksTrackedIndependently) {
+  GpuConfig cfg;
+  LocalityAwarePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  pf.on_demand_miss(0x10000, 0x40, 0, out);
+  pf.on_demand_miss(0x20000, 0x40, 0, out);
+  EXPECT_TRUE(out.empty());  // one miss in each block: below threshold
+}
+
+TEST(LapTest, BlockRetiresAfterTrigger) {
+  GpuConfig cfg;
+  LocalityAwarePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  pf.on_demand_miss(0x10000, 0x40, 0, out);
+  pf.on_demand_miss(0x10000 + 128, 0x40, 0, out);
+  const std::size_t first = out.size();
+  EXPECT_GT(first, 0u);
+  // Another miss in the same block must not re-trigger.
+  pf.on_demand_miss(0x10000 + 256, 0x40, 0, out);
+  EXPECT_EQ(out.size(), first);
+}
+
+// --------------------------------------------------------------- factory ---
+
+TEST(FactoryTest, BuildsEveryBaselineKind) {
+  GpuConfig cfg;
+  for (PrefetcherKind k :
+       {PrefetcherKind::kNone, PrefetcherKind::kIntra, PrefetcherKind::kInter,
+        PrefetcherKind::kMta, PrefetcherKind::kNlp, PrefetcherKind::kLap,
+        PrefetcherKind::kOrch}) {
+    auto pf = make_baseline_prefetcher(k, cfg);
+    ASSERT_NE(pf, nullptr) << to_string(k);
+  }
+}
+
+TEST(FactoryTest, RejectsCaps) {
+  GpuConfig cfg;
+  EXPECT_THROW(make_baseline_prefetcher(PrefetcherKind::kCaps, cfg),
+               std::invalid_argument);
+}
+
+TEST(FactoryTest, OrchUsesLapEngine) {
+  GpuConfig cfg;
+  auto pf = make_baseline_prefetcher(PrefetcherKind::kOrch, cfg);
+  EXPECT_STREQ(pf->name(), "LAP");
+}
+
+}  // namespace
+}  // namespace caps

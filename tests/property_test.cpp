@@ -1,0 +1,306 @@
+// Property-based suites: randomized inputs checked against ground truth or
+// invariants, parameterized across configurations (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "core/caps_prefetcher.hpp"
+#include "core/pas_gto_scheduler.hpp"
+#include "gpu/coalescer.hpp"
+#include "harness/experiment.hpp"
+#include "mem/dram.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+namespace {
+
+// ---------------------------------------------------- coalescer property ---
+
+/// For random affine patterns: every lane's byte address must fall inside
+/// one of the produced lines, lines are unique/sorted, and their count
+/// never exceeds the active lane count.
+class CoalescerPropertyTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CoalescerPropertyTest, LinesCoverEveryLane) {
+  std::mt19937_64 rng(GetParam());
+  Coalescer co(128);
+  for (int trial = 0; trial < 200; ++trial) {
+    AddressPattern p;
+    p.base = (rng() % 1024) * 64 + 0x1000'0000;
+    p.c_tid_x = static_cast<i64>(rng() % 64);
+    p.c_tid_y = static_cast<i64>(rng() % 4096);
+    p.c_cta_x = static_cast<i64>(rng() % 512);
+    p.c_iter = static_cast<i64>(rng() % 8192);
+    if (rng() % 4 == 0) p = indirect_pattern(0x5000'0000, 1 << 20, rng());
+    const Dim3 block{32, 1 + static_cast<u32>(rng() % 8), 1};
+    const u32 warp = static_cast<u32>(rng() % ((block.count() + 31) / 32));
+    const u32 iter = static_cast<u32>(rng() % 4);
+    const Dim3 cta{static_cast<u32>(rng() % 16), static_cast<u32>(rng() % 16)};
+
+    const auto lines = co.coalesce(p, block, cta, 7, warp, iter);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+    EXPECT_TRUE(std::adjacent_find(lines.begin(), lines.end()) == lines.end());
+    const u32 active =
+        std::min(kWarpSize, block.count() - warp * kWarpSize);
+    EXPECT_LE(lines.size(), active);
+
+    for (u32 lane = 0; lane < active; ++lane) {
+      const u32 t = warp * kWarpSize + lane;
+      const Addr a = p.evaluate(unflatten(t, block), cta, iter,
+                                static_cast<u64>(7) * block.count() + t);
+      const Addr line = line_base(a, 128);
+      EXPECT_TRUE(std::binary_search(lines.begin(), lines.end(), line))
+          << "lane " << lane << " uncovered";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// -------------------------------------------------------- CAPS property ---
+
+/// Ground-truth check: for a perfectly strided load arriving in a random
+/// warp order, every prefetch CAPS emits must equal base + warp*stride, and
+/// no (CTA, warp) pair may be prefetched twice.
+class CapsPropertyTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(CapsPropertyTest, AllPrefetchesMatchGroundTruth) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    GpuConfig cfg;
+    CapsPrefetcher pf(cfg);
+    const u32 num_ctas = 1 + static_cast<u32>(rng() % 8);
+    const u32 warps = 2 + static_cast<u32>(rng() % 7);
+    const i64 stride = static_cast<i64>(1 + rng() % 64) * 128;
+    std::vector<Addr> cta_base(num_ctas);
+    for (u32 c = 0; c < num_ctas; ++c) {
+      cta_base[c] = 0x1000'0000 + (rng() % 4096) * 0x10000;
+      pf.on_cta_launch(c, {c, 0}, c * warps, warps);
+    }
+
+    // Random arrival order of (cta, warp) load issues.
+    std::vector<std::pair<u32, u32>> order;
+    for (u32 c = 0; c < num_ctas; ++c)
+      for (u32 w = 0; w < warps; ++w) order.emplace_back(c, w);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    std::set<std::pair<u32, Addr>> prefetched;  // (target slot, line)
+    std::vector<PrefetchRequest> out;
+    for (auto [c, w] : order) {
+      LoadIssueInfo info;
+      info.pc = 0x80;
+      info.cta_slot = c;
+      info.cta_id = {c, 0};
+      info.warp_slot = c * warps + w;
+      info.warp_in_cta = w;
+      info.warps_in_cta = warps;
+      std::vector<Addr> lines{
+          static_cast<Addr>(static_cast<i64>(cta_base[c]) + stride * w)};
+      info.lines = lines;
+      out.clear();
+      pf.on_load_issue(info, out);
+      for (const PrefetchRequest& r : out) {
+        ASSERT_NE(r.target_warp_slot, kNoWarp);
+        const u32 tc = static_cast<u32>(r.target_warp_slot) / warps;
+        const u32 tw = static_cast<u32>(r.target_warp_slot) % warps;
+        ASSERT_LT(tc, num_ctas);
+        // Ground truth address for the targeted warp.
+        const Addr expect = static_cast<Addr>(
+            static_cast<i64>(cta_base[tc]) + stride * tw);
+        EXPECT_EQ(r.line, expect)
+            << "trial " << trial << " cta " << tc << " warp " << tw;
+        // No duplicate prefetch for the same target line.
+        EXPECT_TRUE(prefetched.insert({*&tc * warps + tw, r.line}).second);
+      }
+    }
+    EXPECT_EQ(pf.engine_stats().mispredictions, 0u) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CapsPropertyTest, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------- DRAM properties ---
+
+/// Work conservation: every submitted request completes exactly once, for
+/// random address streams and read/write mixes.
+class DramPropertyTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DramPropertyTest, EveryRequestCompletesOnce) {
+  std::mt19937_64 rng(GetParam());
+  GpuConfig cfg;
+  std::multiset<u64> completed;
+  DramChannel ch(cfg, [&](const MemRequest& r) { completed.insert(r.id); });
+  u64 next_id = 1;
+  u64 submitted = 0;
+  Cycle t = 0;
+  while (submitted < 500) {
+    if (ch.can_accept() && rng() % 2 == 0) {
+      MemRequest r;
+      r.id = next_id++;
+      r.line = (rng() % 512) * 128;
+      r.is_write = rng() % 4 == 0;
+      r.created = t;
+      ch.submit(r);
+      ++submitted;
+    }
+    ch.cycle(t++);
+  }
+  for (Cycle end = t + 50000; t < end && completed.size() < submitted; ++t)
+    ch.cycle(t);
+  ASSERT_EQ(completed.size(), submitted);
+  for (u64 id = 1; id < next_id; ++id)
+    EXPECT_EQ(completed.count(id), 1u) << "request " << id;
+  EXPECT_EQ(ch.stats().reads + ch.stats().writes, submitted);
+  EXPECT_EQ(ch.stats().row_hits + ch.stats().row_misses, submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramPropertyTest,
+                         ::testing::Values(5, 6, 7, 8));
+
+TEST(DramTimingPropertyTest, SlowerTimingNeverFaster) {
+  // Doubling CAS latency must not reduce total service time for a fixed
+  // request stream.
+  auto run = [](u32 tcl) {
+    GpuConfig cfg;
+    cfg.dram_timing.tCL = tcl;
+    u64 done = 0;
+    DramChannel ch(cfg, [&](const MemRequest&) { ++done; });
+    Cycle t = 0;
+    for (u32 i = 0; i < 16; ++i) {
+      MemRequest r;
+      r.line = static_cast<Addr>(i) * 4096;
+      while (!ch.can_accept()) ch.cycle(t++);
+      ch.submit(r);
+    }
+    while (done < 16) ch.cycle(t++);
+    return t;
+  };
+  EXPECT_LE(run(12), run(24));
+}
+
+// ------------------------------------------------- full-suite smoke runs ---
+
+/// Every Table IV workload completes under CAPS with invariants intact
+/// (parameterized: one test per benchmark).
+class WorkloadSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadSmokeTest, RunsToCompletionUnderCaps) {
+  RunConfig rc;
+  rc.workload = GetParam();
+  rc.prefetcher = PrefetcherKind::kCaps;
+  rc.base.num_sms = 4;
+  const RunResult r = run_experiment(rc);
+  const Kernel& k = find_workload(GetParam()).kernel;
+  EXPECT_FALSE(r.stats.hit_cycle_limit);
+  EXPECT_EQ(r.stats.sm.ctas_completed, k.num_ctas());
+  EXPECT_EQ(r.stats.sm.issued_instructions,
+            k.dynamic_warp_instructions() * k.warps_per_cta() * k.num_ctas());
+  EXPECT_EQ(r.stats.sm.l1_hits + r.stats.sm.l1_misses, r.stats.sm.l1_accesses);
+  // A prefetcher may be quiet on irregular kernels but must never be
+  // "more useful than issued".
+  EXPECT_LE(r.stats.sm.pf_useful + r.stats.sm.pf_useful_late,
+            r.stats.sm.pf_issued_to_mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadSmokeTest,
+                         ::testing::Values("CP", "LPS", "BPR", "HSP", "MRQ",
+                                           "STE", "CNV", "HST", "JC1", "FFT",
+                                           "SCN", "MM", "PVR", "CCL", "BFS",
+                                           "KM"));
+
+// -------------------------------------------------------- PAS-GTO (ext) ---
+
+class PasGtoTest : public ::testing::Test {
+ protected:
+  GpuConfig cfg_;
+  std::vector<WarpContext> warps_;
+
+  void SetUp() override {
+    cfg_.max_warps_per_sm = 8;
+    warps_.resize(8);
+    for (u32 w = 0; w < 8; ++w) {
+      warps_[w].status = WarpStatus::kActive;
+      warps_[w].launch_order = w;
+    }
+  }
+
+  std::unique_ptr<PasGtoScheduler> make() {
+    return std::make_unique<PasGtoScheduler>(
+        cfg_, warps_, [](u32, Cycle) { return true; },
+        [](u32) { return false; });
+  }
+};
+
+TEST_F(PasGtoTest, LeadingWarpsScheduledFirst) {
+  auto s = make();
+  s->on_cta_launch(0, 0, 4);
+  s->on_cta_launch(1, 4, 4);
+  // Both leading warps outrank everything; oldest (slot 0) first.
+  EXPECT_EQ(s->pick(0), 0);
+  warps_[0].leading = false;  // computed its base (SM clears the marker)
+  EXPECT_EQ(s->pick(0), 4);
+  warps_[4].leading = false;
+  // Now plain GTO: greedy on the last scheduled warp.
+  EXPECT_EQ(s->pick(0), 4);
+}
+
+TEST_F(PasGtoTest, FallsBackToGreedyOldest) {
+  auto s = make();  // no CTA launches: no leading warps
+  const i32 first = s->pick(0);
+  EXPECT_EQ(first, 0);  // oldest
+  EXPECT_EQ(s->pick(0), 0);  // greedy
+  warps_[0].status = WarpStatus::kDone;
+  s->on_warp_done(0);
+  EXPECT_EQ(s->pick(0), 1);
+}
+
+TEST_F(PasGtoTest, RunsAFullKernel) {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  const Kernel& k = find_workload("SCN").kernel;
+  SmPolicyFactories pol;
+  pol.make_prefetcher = [](const GpuConfig& c) {
+    return std::make_unique<CapsPrefetcher>(c);
+  };
+  pol.make_scheduler = [](const GpuConfig& c, std::vector<WarpContext>& w,
+                          std::function<bool(u32, Cycle)> e,
+                          std::function<bool(u32)> m)
+      -> std::unique_ptr<Scheduler> {
+    return std::make_unique<PasGtoScheduler>(c, w, std::move(e), std::move(m));
+  };
+  Gpu gpu(cfg, k, pol);
+  const GpuStats s = gpu.run();
+  EXPECT_FALSE(s.hit_cycle_limit);
+  EXPECT_EQ(s.sm.ctas_completed, k.num_ctas());
+}
+
+// ----------------------------------------------------- determinism sweep ---
+
+class DeterminismTest : public ::testing::TestWithParam<PrefetcherKind> {};
+
+TEST_P(DeterminismTest, RepeatRunsBitIdentical) {
+  RunConfig rc;
+  rc.workload = "LPS";
+  rc.prefetcher = GetParam();
+  rc.base.num_sms = 3;
+  const RunResult a = run_experiment(rc);
+  const RunResult b = run_experiment(rc);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.sm.l1_hits, b.stats.sm.l1_hits);
+  EXPECT_EQ(a.stats.dram.row_hits, b.stats.dram.row_hits);
+  EXPECT_EQ(a.stats.sm.pf_generated, b.stats.sm.pf_generated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismTest,
+                         ::testing::Values(PrefetcherKind::kNone,
+                                           PrefetcherKind::kMta,
+                                           PrefetcherKind::kLap,
+                                           PrefetcherKind::kCaps),
+                         [](const auto& info) { return to_string(info.param); });
+
+}  // namespace
+}  // namespace caps

@@ -1,0 +1,155 @@
+// Tests for the 16-benchmark workload suite (Table IV) and its Fig. 4
+// load/loop structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/trace_analysis.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+namespace {
+
+TEST(SuiteTest, HasAllSixteenBenchmarks) {
+  const auto& suite = workload_suite();
+  ASSERT_EQ(suite.size(), 16u);
+  const std::vector<std::string> expected = {
+      "CP", "LPS", "BPR", "HSP", "MRQ", "STE", "CNV", "HST",
+      "JC1", "FFT", "SCN", "MM",  "PVR", "CCL", "BFS", "KM"};
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(suite[i].abbr, expected[i]) << "position " << i;
+}
+
+TEST(SuiteTest, RegularIrregularSplitMatchesPaper) {
+  EXPECT_EQ(regular_workload_names().size(), 12u);
+  const auto irr = irregular_workload_names();
+  ASSERT_EQ(irr.size(), 4u);
+  EXPECT_EQ(std::set<std::string>(irr.begin(), irr.end()),
+            (std::set<std::string>{"PVR", "CCL", "BFS", "KM"}));
+}
+
+TEST(SuiteTest, LookupByAbbreviation) {
+  EXPECT_EQ(find_workload("MM").full_name, "MatrixMul");
+  EXPECT_THROW(find_workload("nope"), std::out_of_range);
+}
+
+TEST(SuiteTest, MatrixMulHasEightWarpsPerCta) {
+  // Section I: "matrixMul has 8 warps per CTA".
+  EXPECT_EQ(find_workload("MM").kernel.warps_per_cta(), 8u);
+}
+
+TEST(SuiteTest, LpsUsesThePaperBlockShape) {
+  // Section IV: "the CTA of LPS consists of a (32, 4) two-dimensional
+  // thread group", i.e. four warps per CTA.
+  const Workload& w = find_workload("LPS");
+  EXPECT_EQ(w.kernel.block(), (Dim3{32, 4, 1}));
+  EXPECT_EQ(w.kernel.warps_per_cta(), 4u);
+}
+
+TEST(SuiteTest, IrregularWorkloadsContainIndirectLoads) {
+  for (const std::string& name : irregular_workload_names()) {
+    const Workload& w = find_workload(name);
+    bool indirect = false;
+    for (const Instruction& ins : w.kernel.instructions())
+      if (ins.op == Opcode::kMem && ins.is_load && ins.addr.indirect)
+        indirect = true;
+    EXPECT_TRUE(indirect) << name;
+  }
+}
+
+TEST(SuiteTest, RegularWorkloadsHaveNoIndirectLoads) {
+  for (const std::string& name : regular_workload_names()) {
+    const Workload& w = find_workload(name);
+    for (const Instruction& ins : w.kernel.instructions())
+      if (ins.op == Opcode::kMem && ins.is_load)
+        EXPECT_FALSE(ins.addr.indirect) << name;
+  }
+}
+
+TEST(SuiteTest, WrapSizesArePowersOfTwo) {
+  for (const Workload& w : workload_suite())
+    for (const Instruction& ins : w.kernel.instructions())
+      if (ins.op == Opcode::kMem && ins.addr.wrap_bytes != 0)
+        EXPECT_TRUE(std::has_single_bit(ins.addr.wrap_bytes))
+            << w.abbr << " pc=" << ins.pc;
+}
+
+TEST(SuiteTest, EveryKernelEndsWithExit) {
+  for (const Workload& w : workload_suite())
+    EXPECT_EQ(w.kernel.instructions().back().op, Opcode::kExit) << w.abbr;
+}
+
+TEST(SuiteTest, CtasFitOnAnSm) {
+  for (const Workload& w : workload_suite())
+    EXPECT_LE(w.kernel.warps_per_cta(), 48u) << w.abbr;
+}
+
+TEST(SuiteTest, PaperMetadataIsConsistent) {
+  for (const Workload& w : workload_suite()) {
+    EXPECT_LE(w.paper_repeated_loads, w.paper_total_loads) << w.abbr;
+    EXPECT_GE(w.paper_avg_iterations, 1u) << w.abbr;
+  }
+}
+
+/// Loop-structure expectations per benchmark: which kernels have in-loop
+/// loads at all (the Fig. 4 "repeated loads" distinction).
+class LoopStructureTest
+    : public ::testing::TestWithParam<std::pair<const char*, bool>> {};
+
+TEST_P(LoopStructureTest, RepeatedLoadPresenceMatchesDesign) {
+  const auto& [name, has_loop_loads] = GetParam();
+  const LoadLoopProfile prof = analyze_load_loops(find_workload(name).kernel);
+  EXPECT_EQ(prof.repeated_loads > 0, has_loop_loads) << name;
+  EXPECT_GT(prof.total_loads, 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, LoopStructureTest,
+    ::testing::Values(std::pair{"CP", false}, std::pair{"LPS", true},
+                      std::pair{"BPR", false}, std::pair{"HSP", false},
+                      std::pair{"MRQ", false}, std::pair{"STE", true},
+                      std::pair{"HST", true}, std::pair{"JC1", false},
+                      std::pair{"FFT", false}, std::pair{"SCN", false},
+                      std::pair{"MM", true}, std::pair{"PVR", true},
+                      std::pair{"CCL", true}, std::pair{"BFS", true},
+                      std::pair{"KM", true}));
+
+TEST(LoadLoopProfileTest, CountsMatchKernelStructure) {
+  // MM: both loads inside the 8-iteration tile loop.
+  const LoadLoopProfile mm = analyze_load_loops(find_workload("MM").kernel);
+  EXPECT_EQ(mm.total_loads, 2u);
+  EXPECT_EQ(mm.repeated_loads, 2u);
+  ASSERT_EQ(mm.top4_iterations.size(), 2u);
+  EXPECT_EQ(mm.top4_iterations[0], 8u);
+  EXPECT_DOUBLE_EQ(mm.top4_mean(), 8.0);
+
+  // LPS: two boundary loads outside, two in the z loop.
+  const LoadLoopProfile lps = analyze_load_loops(find_workload("LPS").kernel);
+  EXPECT_EQ(lps.total_loads, 4u);
+  EXPECT_EQ(lps.repeated_loads, 2u);
+}
+
+TEST(LoadLoopProfileTest, SingleShotKernelTops) {
+  const LoadLoopProfile p = analyze_load_loops(find_workload("BPR").kernel);
+  EXPECT_EQ(p.total_loads, 14u);  // the paper's 14 static loads
+  EXPECT_EQ(p.repeated_loads, 0u);
+  EXPECT_DOUBLE_EQ(p.top4_mean(), 1.0);
+}
+
+TEST(SuiteTest, WorkloadsAreDeterministic) {
+  // Building the suite twice yields identical kernels (address patterns
+  // included) — the registry returns a stable singleton.
+  const Workload& a = find_workload("BFS");
+  const Workload& b = find_workload("BFS");
+  EXPECT_EQ(&a, &b);
+  // And the indirect patterns hash deterministically.
+  for (const Instruction& ins : a.kernel.instructions()) {
+    if (ins.op == Opcode::kMem && ins.addr.indirect) {
+      EXPECT_EQ(ins.addr.evaluate({0, 0}, {0, 0}, 1, 99),
+                ins.addr.evaluate({0, 0}, {0, 0}, 1, 99));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace caps
