@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_stride_accuracy.dir/fig01_stride_accuracy.cpp.o"
+  "CMakeFiles/fig01_stride_accuracy.dir/fig01_stride_accuracy.cpp.o.d"
+  "fig01_stride_accuracy"
+  "fig01_stride_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stride_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_loop_iterations.dir/fig04_loop_iterations.cpp.o"
+  "CMakeFiles/fig04_loop_iterations.dir/fig04_loop_iterations.cpp.o.d"
+  "fig04_loop_iterations"
+  "fig04_loop_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_loop_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

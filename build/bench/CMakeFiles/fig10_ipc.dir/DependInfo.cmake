@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_ipc.cpp" "bench/CMakeFiles/fig10_ipc.dir/fig10_ipc.cpp.o" "gcc" "bench/CMakeFiles/fig10_ipc.dir/fig10_ipc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/capsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/capsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/capsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/capsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/capsim_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/capsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/capsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

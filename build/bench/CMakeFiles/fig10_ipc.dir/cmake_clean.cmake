@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ipc.dir/fig10_ipc.cpp.o"
+  "CMakeFiles/fig10_ipc.dir/fig10_ipc.cpp.o.d"
+  "fig10_ipc"
+  "fig10_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cta_sweep.dir/fig11_cta_sweep.cpp.o"
+  "CMakeFiles/fig11_cta_sweep.dir/fig11_cta_sweep.cpp.o.d"
+  "fig11_cta_sweep"
+  "fig11_cta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

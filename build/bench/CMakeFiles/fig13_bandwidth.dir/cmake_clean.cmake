@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bandwidth.dir/fig13_bandwidth.cpp.o"
+  "CMakeFiles/fig13_bandwidth.dir/fig13_bandwidth.cpp.o.d"
+  "fig13_bandwidth"
+  "fig13_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

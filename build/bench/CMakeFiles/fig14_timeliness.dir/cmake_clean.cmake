@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_timeliness.dir/fig14_timeliness.cpp.o"
+  "CMakeFiles/fig14_timeliness.dir/fig14_timeliness.cpp.o.d"
+  "fig14_timeliness"
+  "fig14_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

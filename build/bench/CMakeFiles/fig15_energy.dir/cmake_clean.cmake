@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_energy.dir/fig15_energy.cpp.o"
+  "CMakeFiles/fig15_energy.dir/fig15_energy.cpp.o.d"
+  "fig15_energy"
+  "fig15_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hardware.dir/tab_hardware.cpp.o"
+  "CMakeFiles/tab_hardware.dir/tab_hardware.cpp.o.d"
+  "tab_hardware"
+  "tab_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_irregular.dir/graph_irregular.cpp.o"
+  "CMakeFiles/graph_irregular.dir/graph_irregular.cpp.o.d"
+  "graph_irregular"
+  "graph_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

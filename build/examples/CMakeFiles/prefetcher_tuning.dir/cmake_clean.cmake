@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_tuning.dir/prefetcher_tuning.cpp.o"
+  "CMakeFiles/prefetcher_tuning.dir/prefetcher_tuning.cpp.o.d"
+  "prefetcher_tuning"
+  "prefetcher_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

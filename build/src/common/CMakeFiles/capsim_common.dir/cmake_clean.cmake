@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_common.dir/config.cpp.o"
+  "CMakeFiles/capsim_common.dir/config.cpp.o.d"
+  "CMakeFiles/capsim_common.dir/types.cpp.o"
+  "CMakeFiles/capsim_common.dir/types.cpp.o.d"
+  "libcapsim_common.a"
+  "libcapsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/caps_prefetcher.cpp" "src/core/CMakeFiles/capsim_core.dir/caps_prefetcher.cpp.o" "gcc" "src/core/CMakeFiles/capsim_core.dir/caps_prefetcher.cpp.o.d"
+  "/root/repo/src/core/dist_table.cpp" "src/core/CMakeFiles/capsim_core.dir/dist_table.cpp.o" "gcc" "src/core/CMakeFiles/capsim_core.dir/dist_table.cpp.o.d"
+  "/root/repo/src/core/hw_cost.cpp" "src/core/CMakeFiles/capsim_core.dir/hw_cost.cpp.o" "gcc" "src/core/CMakeFiles/capsim_core.dir/hw_cost.cpp.o.d"
+  "/root/repo/src/core/pas_scheduler.cpp" "src/core/CMakeFiles/capsim_core.dir/pas_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/capsim_core.dir/pas_scheduler.cpp.o.d"
+  "/root/repo/src/core/percta_table.cpp" "src/core/CMakeFiles/capsim_core.dir/percta_table.cpp.o" "gcc" "src/core/CMakeFiles/capsim_core.dir/percta_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/capsim_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/capsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/capsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/capsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_core.dir/caps_prefetcher.cpp.o"
+  "CMakeFiles/capsim_core.dir/caps_prefetcher.cpp.o.d"
+  "CMakeFiles/capsim_core.dir/dist_table.cpp.o"
+  "CMakeFiles/capsim_core.dir/dist_table.cpp.o.d"
+  "CMakeFiles/capsim_core.dir/hw_cost.cpp.o"
+  "CMakeFiles/capsim_core.dir/hw_cost.cpp.o.d"
+  "CMakeFiles/capsim_core.dir/pas_scheduler.cpp.o"
+  "CMakeFiles/capsim_core.dir/pas_scheduler.cpp.o.d"
+  "CMakeFiles/capsim_core.dir/percta_table.cpp.o"
+  "CMakeFiles/capsim_core.dir/percta_table.cpp.o.d"
+  "libcapsim_core.a"
+  "libcapsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/coalescer.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/coalescer.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/coalescer.cpp.o.d"
+  "/root/repo/src/gpu/cta_distributor.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/cta_distributor.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/cta_distributor.cpp.o.d"
+  "/root/repo/src/gpu/gpu.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/gpu.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/gpu.cpp.o.d"
+  "/root/repo/src/gpu/ldst_unit.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/ldst_unit.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/ldst_unit.cpp.o.d"
+  "/root/repo/src/gpu/scheduler.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/scheduler.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/scheduler.cpp.o.d"
+  "/root/repo/src/gpu/sm.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/sm.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/sm.cpp.o.d"
+  "/root/repo/src/gpu/sm_stats.cpp" "src/gpu/CMakeFiles/capsim_gpu.dir/sm_stats.cpp.o" "gcc" "src/gpu/CMakeFiles/capsim_gpu.dir/sm_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/capsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/capsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/capsim_prefetch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

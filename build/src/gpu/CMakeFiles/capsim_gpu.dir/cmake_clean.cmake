@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_gpu.dir/coalescer.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/coalescer.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/cta_distributor.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/cta_distributor.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/gpu.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/gpu.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/ldst_unit.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/ldst_unit.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/scheduler.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/scheduler.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/sm.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/sm.cpp.o.d"
+  "CMakeFiles/capsim_gpu.dir/sm_stats.cpp.o"
+  "CMakeFiles/capsim_gpu.dir/sm_stats.cpp.o.d"
+  "libcapsim_gpu.a"
+  "libcapsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

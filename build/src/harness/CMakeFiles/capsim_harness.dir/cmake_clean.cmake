@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_harness.dir/energy.cpp.o"
+  "CMakeFiles/capsim_harness.dir/energy.cpp.o.d"
+  "CMakeFiles/capsim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/capsim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/capsim_harness.dir/tables.cpp.o"
+  "CMakeFiles/capsim_harness.dir/tables.cpp.o.d"
+  "CMakeFiles/capsim_harness.dir/trace_analysis.cpp.o"
+  "CMakeFiles/capsim_harness.dir/trace_analysis.cpp.o.d"
+  "libcapsim_harness.a"
+  "libcapsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapsim_harness.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_isa.dir/address_pattern.cpp.o"
+  "CMakeFiles/capsim_isa.dir/address_pattern.cpp.o.d"
+  "CMakeFiles/capsim_isa.dir/kernel.cpp.o"
+  "CMakeFiles/capsim_isa.dir/kernel.cpp.o.d"
+  "libcapsim_isa.a"
+  "libcapsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

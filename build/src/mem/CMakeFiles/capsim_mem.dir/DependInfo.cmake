@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/capsim_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/capsim_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/capsim_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/capsim_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/mem/CMakeFiles/capsim_mem.dir/interconnect.cpp.o" "gcc" "src/mem/CMakeFiles/capsim_mem.dir/interconnect.cpp.o.d"
+  "/root/repo/src/mem/l2_partition.cpp" "src/mem/CMakeFiles/capsim_mem.dir/l2_partition.cpp.o" "gcc" "src/mem/CMakeFiles/capsim_mem.dir/l2_partition.cpp.o.d"
+  "/root/repo/src/mem/memory_system.cpp" "src/mem/CMakeFiles/capsim_mem.dir/memory_system.cpp.o" "gcc" "src/mem/CMakeFiles/capsim_mem.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

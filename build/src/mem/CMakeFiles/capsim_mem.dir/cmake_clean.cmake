@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_mem.dir/cache.cpp.o"
+  "CMakeFiles/capsim_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/capsim_mem.dir/dram.cpp.o"
+  "CMakeFiles/capsim_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/capsim_mem.dir/interconnect.cpp.o"
+  "CMakeFiles/capsim_mem.dir/interconnect.cpp.o.d"
+  "CMakeFiles/capsim_mem.dir/l2_partition.cpp.o"
+  "CMakeFiles/capsim_mem.dir/l2_partition.cpp.o.d"
+  "CMakeFiles/capsim_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/capsim_mem.dir/memory_system.cpp.o.d"
+  "libcapsim_mem.a"
+  "libcapsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/factory.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/factory.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/factory.cpp.o.d"
+  "/root/repo/src/prefetch/inter_warp.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/inter_warp.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/inter_warp.cpp.o.d"
+  "/root/repo/src/prefetch/intra_warp.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/intra_warp.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/intra_warp.cpp.o.d"
+  "/root/repo/src/prefetch/lap.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/lap.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/lap.cpp.o.d"
+  "/root/repo/src/prefetch/mta.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/mta.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/mta.cpp.o.d"
+  "/root/repo/src/prefetch/nlp.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/nlp.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/nlp.cpp.o.d"
+  "/root/repo/src/prefetch/stride_table.cpp" "src/prefetch/CMakeFiles/capsim_prefetch.dir/stride_table.cpp.o" "gcc" "src/prefetch/CMakeFiles/capsim_prefetch.dir/stride_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_prefetch.dir/factory.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/factory.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/inter_warp.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/inter_warp.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/intra_warp.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/intra_warp.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/lap.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/lap.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/mta.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/mta.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/nlp.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/nlp.cpp.o.d"
+  "CMakeFiles/capsim_prefetch.dir/stride_table.cpp.o"
+  "CMakeFiles/capsim_prefetch.dir/stride_table.cpp.o.d"
+  "libcapsim_prefetch.a"
+  "libcapsim_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels_gpgpusim.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_gpgpusim.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_gpgpusim.cpp.o.d"
+  "/root/repo/src/workloads/kernels_irregular.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_irregular.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_irregular.cpp.o.d"
+  "/root/repo/src/workloads/kernels_misc.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_misc.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_misc.cpp.o.d"
+  "/root/repo/src/workloads/kernels_parboil.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_parboil.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_parboil.cpp.o.d"
+  "/root/repo/src/workloads/kernels_rodinia.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_rodinia.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_rodinia.cpp.o.d"
+  "/root/repo/src/workloads/kernels_sdk.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_sdk.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/kernels_sdk.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/capsim_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/capsim_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/capsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/capsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

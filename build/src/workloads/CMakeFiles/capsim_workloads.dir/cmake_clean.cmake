@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capsim_workloads.dir/kernels_gpgpusim.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_gpgpusim.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/kernels_irregular.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_irregular.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/kernels_misc.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_misc.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/kernels_parboil.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_parboil.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/kernels_rodinia.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_rodinia.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/kernels_sdk.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/kernels_sdk.cpp.o.d"
+  "CMakeFiles/capsim_workloads.dir/suite.cpp.o"
+  "CMakeFiles/capsim_workloads.dir/suite.cpp.o.d"
+  "libcapsim_workloads.a"
+  "libcapsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_test.dir/prefetch_test.cpp.o"
+  "CMakeFiles/prefetch_test.dir/prefetch_test.cpp.o.d"
+  "prefetch_test"
+  "prefetch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
