@@ -28,9 +28,18 @@ int main(int argc, char** argv) {
 
   for (const std::string& wl : workloads) {
     const auto& runs = m.at(wl);
+    if (!runs[0].ok()) {
+      // Without a clean baseline nothing normalizes; keep the row visible.
+      t.add_row({wl, to_string(runs[0].status)});
+      continue;
+    }
     const double base_ipc = runs[0].stats.ipc();
     std::vector<std::string> row{wl};
     for (std::size_t i = 1; i < runs.size(); ++i) {
+      if (!runs[i].ok()) {
+        row.push_back(to_string(runs[i].status));
+        continue;
+      }
       const double norm = runs[i].stats.ipc() / base_ipc;
       const std::string name = to_string(runs[i].cfg.prefetcher);
       row.push_back(fmt_double(norm, 3));

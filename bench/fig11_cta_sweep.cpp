@@ -32,13 +32,21 @@ int main(int argc, char** argv) {
   Table t({"CTAs/SM", "BASE", "INTRA", "INTER", "MTA", "NLP", "LAP", "ORCH",
            "CAPS"});
 
-  // Per-workload 8-CTA baseline IPC for normalization.
+  // Per-workload 8-CTA baseline IPC for normalization. A workload whose
+  // baseline fails is dropped from the sweep (reported by usable()).
   std::map<std::string, double> base8;
-  for (const std::string& wl : workloads) {
-    RunConfig rc;
-    rc.workload = wl;
-    rc.max_ctas_per_sm = 8;
-    base8[wl] = run_experiment(rc).stats.ipc();
+  {
+    std::vector<std::string> kept;
+    for (const std::string& wl : workloads) {
+      RunConfig rc;
+      rc.workload = wl;
+      rc.max_ctas_per_sm = 8;
+      const RunResult r = run_experiment(rc);
+      if (!usable(r)) continue;
+      base8[wl] = r.stats.ipc();
+      kept.push_back(wl);
+    }
+    workloads = std::move(kept);
   }
 
   for (u32 ctas : {1u, 2u, 4u, 8u}) {
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
         rc.prefetcher = pf;
         rc.max_ctas_per_sm = ctas;
         const RunResult r = run_experiment(rc);
+        if (!usable(r)) continue;
         norms.push_back(r.stats.ipc() / base8[wl]);
       }
       row.push_back(fmt_double(geo_mean(norms), 3));

@@ -30,6 +30,10 @@ int main(int argc, char** argv) {
       const auto& runs = m.at(wl);
       std::vector<std::string> row{wl};
       for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (!runs[i].ok()) {
+          row.push_back(to_string(runs[i].status));
+          continue;
+        }
         const double v = is_cov ? runs[i].stats.pf_coverage()
                                 : runs[i].stats.pf_accuracy();
         row.push_back(fmt_percent(v));

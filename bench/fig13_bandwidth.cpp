@@ -37,9 +37,17 @@ int main(int argc, char** argv) {
 
     for (const std::string& wl : workloads) {
       const auto& runs = m.at(wl);
+      if (!runs[0].ok()) {
+        t.add_row({wl, to_string(runs[0].status)});
+        continue;
+      }
       const double base = static_cast<double>(metric.get(runs[0].stats));
       std::vector<std::string> row{wl};
       for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (!runs[i].ok()) {
+          row.push_back(to_string(runs[i].status));
+          continue;
+        }
         const double norm =
             base == 0 ? 1.0 : static_cast<double>(metric.get(runs[i].stats)) / base;
         row.push_back(fmt_double(norm, 3));

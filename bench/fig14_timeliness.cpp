@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
         rc.prefetcher = c.pf;
         rc.caps_eager_wakeup = c.wakeup;
         const RunResult r = run_experiment(rc);
+        if (!usable(r)) continue;
         if (r.stats.sm.pf_issued_to_mem > 0)
           ratios.push_back(r.stats.pf_early_ratio());
       }
@@ -75,6 +76,7 @@ int main(int argc, char** argv) {
         rc.prefetcher = PrefetcherKind::kCaps;
         rc.scheduler = s.kind;
         const RunResult r = run_experiment(rc);
+        if (!usable(r)) continue;
         agg.merge(r.stats.sm.pf_distance);
       }
       t.add_row({s.label, fmt_double(agg.mean(), 1),

@@ -28,6 +28,11 @@ int main(int argc, char** argv) {
     const RunResult base = run_experiment(rc);
     rc.prefetcher = PrefetcherKind::kCaps;
     const RunResult caps_run = run_experiment(rc);
+    if (!usable(base) || !usable(caps_run)) {
+      t.add_row({wl, "", "",
+                 to_string(base.ok() ? caps_run.status : base.status)});
+      continue;
+    }
 
     const double e_base = model.total_uj(base.stats, cfg, false);
     const double e_caps = model.total_uj(caps_run.stats, cfg, true);

@@ -27,6 +27,17 @@ inline std::vector<std::string> matrix_workloads(bool quick) {
   return all;
 }
 
+/// Skip-and-report gate: true when the run finished clean; otherwise print
+/// a one-line diagnostic so a failed configuration is visible in the sweep
+/// log without aborting the remaining ones.
+inline bool usable(const RunResult& r) {
+  if (r.ok()) return true;
+  std::fprintf(stderr, "  SKIP %s/%s: %s — %s\n", r.cfg.workload.c_str(),
+               to_string(r.cfg.prefetcher), to_string(r.status),
+               r.error.c_str());
+  return false;
+}
+
 /// results[workload][config-index]: index 0 = BASE, then the Fig. 10 legend.
 using Matrix = std::map<std::string, std::vector<RunResult>>;
 
@@ -34,7 +45,9 @@ inline Matrix run_matrix(const std::vector<std::string>& workloads) {
   Matrix m;
   for (const std::string& wl : workloads) {
     std::fprintf(stderr, "  running %s (8 configurations)...\n", wl.c_str());
-    m[wl] = run_all_prefetchers(wl);
+    std::vector<RunResult> runs = run_all_prefetchers(wl);
+    for (const RunResult& r : runs) usable(r);  // report failures up front
+    m[wl] = std::move(runs);
   }
   return m;
 }

@@ -1,11 +1,13 @@
 // Fixed-capacity FIFO used to model hardware queues. Capacity is a hard
-// structural limit: callers must check full() before push().
+// structural limit: callers must check full() before push(). Overflow and
+// underflow are CAPS_CHECK-guarded so they abort the run loudly even in
+// release (NDEBUG) builds instead of corrupting queue state.
 #pragma once
 
-#include <cassert>
 #include <deque>
 #include <utility>
 
+#include "common/diag.hpp"
 #include "common/types.hpp"
 
 namespace caps {
@@ -21,23 +23,24 @@ class BoundedQueue {
   bool empty() const { return items_.empty(); }
   bool full() const { return items_.size() >= capacity_; }
 
-  /// Push; asserts there is room (model code must gate on full()).
+  /// Push; throws SimError if there is no room (model code must gate on
+  /// full()).
   void push(T item) {
-    assert(!full() && "BoundedQueue overflow: caller must check full()");
+    CAPS_CHECK(!full(), "BoundedQueue overflow: caller must check full()");
     items_.push_back(std::move(item));
   }
 
   T& front() {
-    assert(!empty());
+    CAPS_CHECK(!empty(), "BoundedQueue::front on empty queue");
     return items_.front();
   }
   const T& front() const {
-    assert(!empty());
+    CAPS_CHECK(!empty(), "BoundedQueue::front on empty queue");
     return items_.front();
   }
 
   T pop() {
-    assert(!empty());
+    CAPS_CHECK(!empty(), "BoundedQueue underflow: pop on empty queue");
     T item = std::move(items_.front());
     items_.pop_front();
     return item;

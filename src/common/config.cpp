@@ -18,9 +18,12 @@ void CacheConfig::validate() const {
   require(assoc > 0, "associativity must be positive");
   require(size_bytes % (line_size * assoc) == 0,
           "cache size must be a multiple of line_size*assoc");
+  require(num_sets() > 0, "cache must have at least one set");
   require(std::has_single_bit(num_sets()), "number of sets must be a power of two");
   require(mshr_entries > 0, "MSHR must have at least one entry");
   require(mshr_max_merged > 0, "MSHR merge capacity must be positive");
+  require(mshr_max_merged <= mshr_entries,
+          "MSHR merge capacity cannot exceed the entry count");
   require(miss_queue_size > 0, "miss queue must have capacity");
 }
 

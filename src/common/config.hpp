@@ -137,6 +137,13 @@ struct GpuConfig {
 
   // Simulation limits.
   u64 max_cycles = 50'000'000;
+  /// Forward-progress watchdog: abort with a SimError(kDeadlock) snapshot
+  /// when no instruction retires, no line fills, and no request enters the
+  /// memory system for this many cycles while work is still resident. The
+  /// longest legitimate quiet gap (a lone warp waiting on a congested DRAM
+  /// round trip) is a few thousand cycles, so 100k trips only on genuine
+  /// livelock/deadlock. 0 disables.
+  u64 watchdog_cycles = 100'000;
 
   /// Core cycles per DRAM command cycle (>=1).
   double dram_clock_ratio() const {

@@ -1,0 +1,71 @@
+#include "common/diag.hpp"
+
+#include <sstream>
+
+namespace caps {
+
+const char* to_string(SimErrorKind k) {
+  switch (k) {
+    case SimErrorKind::kCheckFailed: return "check_failed";
+    case SimErrorKind::kDeadlock: return "deadlock";
+    case SimErrorKind::kInvariantViolation: return "invariant_violation";
+    case SimErrorKind::kConfigError: return "config_error";
+  }
+  return "?";
+}
+
+const SnapshotSection* MachineSnapshot::find(const std::string& title) const {
+  for (const SnapshotSection& s : sections)
+    if (s.title == title) return &s;
+  return nullptr;
+}
+
+std::string MachineSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "=== machine snapshot @ cycle " << cycle;
+  if (sm_id >= 0) os << " (sm " << sm_id << ")";
+  os << " ===\n";
+  for (const SnapshotSection& s : sections) {
+    os << "[" << s.title << "]\n";
+    for (const std::string& l : s.lines) os << "  " << l << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string format_summary(SimErrorKind kind, const std::string& message,
+                           Cycle cycle, i32 sm_id) {
+  std::ostringstream os;
+  os << "SimError[" << to_string(kind) << "] " << message << " (cycle "
+     << cycle;
+  if (sm_id >= 0) os << ", sm " << sm_id;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+SimError::SimError(SimErrorKind kind, std::string message, Cycle cycle,
+                   i32 sm_id, MachineSnapshot snapshot)
+    : std::runtime_error(format_summary(kind, message, cycle, sm_id)),
+      kind_(kind),
+      cycle_(cycle),
+      sm_id_(sm_id),
+      snapshot_(std::move(snapshot)) {
+  snapshot_.cycle = cycle;
+  snapshot_.sm_id = sm_id;
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "CAPS_CHECK(" << expr << ") failed at " << file << ":" << line;
+  if (!message.empty()) os << ": " << message;
+  throw SimError(SimErrorKind::kCheckFailed, os.str());
+}
+
+}  // namespace detail
+}  // namespace caps

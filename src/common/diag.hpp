@@ -1,0 +1,89 @@
+// Simulation integrity layer: structured machine snapshots, the SimError
+// exception every model-level failure is reported through, and the
+// CAPS_CHECK macros that keep model invariants live in release (NDEBUG)
+// builds — a plain assert compiles out exactly where long sweeps need it
+// most. Model code throws; the harness catches, records and moves on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace caps {
+
+/// Why a simulation was aborted (harness maps these onto RunStatus).
+enum class SimErrorKind {
+  kCheckFailed,         ///< a CAPS_CHECK invariant fired mid-simulation
+  kDeadlock,            ///< the forward-progress watchdog tripped
+  kInvariantViolation,  ///< the end-of-run auditor found corrupted state
+  kConfigError,         ///< inconsistent configuration detected at runtime
+};
+
+const char* to_string(SimErrorKind k);
+
+/// One titled block of a machine snapshot (e.g. "SM 3 warps", "DRAM ch 0").
+struct SnapshotSection {
+  std::string title;
+  std::vector<std::string> lines;
+};
+
+/// Structured dump of simulator state at the point of failure. Components
+/// append sections via snapshot_into(); the harness prints or stores the
+/// rendered form next to the failed configuration.
+struct MachineSnapshot {
+  Cycle cycle = 0;
+  i32 sm_id = -1;  ///< primary suspect SM, -1 if not attributable
+
+  std::vector<SnapshotSection> sections;
+
+  SnapshotSection& section(std::string title) {
+    sections.push_back(SnapshotSection{std::move(title), {}});
+    return sections.back();
+  }
+  bool empty() const { return sections.empty(); }
+
+  /// Find a section by exact title; nullptr if absent (test convenience).
+  const SnapshotSection* find(const std::string& title) const;
+
+  std::string to_string() const;
+};
+
+/// Exception carrying the failure taxonomy plus the machine snapshot.
+/// what() is a one-line summary; snapshot().to_string() is the full dump.
+class SimError : public std::runtime_error {
+ public:
+  SimError(SimErrorKind kind, std::string message, Cycle cycle = 0,
+           i32 sm_id = -1, MachineSnapshot snapshot = {});
+
+  SimErrorKind kind() const { return kind_; }
+  Cycle cycle() const { return cycle_; }
+  i32 sm_id() const { return sm_id_; }
+  const MachineSnapshot& snapshot() const { return snapshot_; }
+
+ private:
+  SimErrorKind kind_;
+  Cycle cycle_;
+  i32 sm_id_;
+  MachineSnapshot snapshot_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message = {});
+}  // namespace detail
+
+/// Release-mode-live invariant check. Unlike assert(), this throws a
+/// SimError(kCheckFailed) under NDEBUG too, so a modeling bug aborts the
+/// one configuration loudly instead of silently corrupting a sweep.
+/// Usage: CAPS_CHECK(cond) or CAPS_CHECK(cond, "context message").
+#define CAPS_CHECK(cond, ...)                                       \
+  do {                                                              \
+    if (!(cond)) [[unlikely]]                                       \
+      ::caps::detail::check_failed(#cond, __FILE__,                 \
+                                   __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+  } while (0)
+
+}  // namespace caps

@@ -1,5 +1,7 @@
 #include "gpu/gpu.hpp"
 
+#include <sstream>
+
 namespace caps {
 
 Gpu::Gpu(const GpuConfig& cfg, const Kernel& kernel,
@@ -25,7 +27,7 @@ void Gpu::dispatch_ctas() {
     if (sms_[sm_id]->can_launch_cta()) {
       const Dim3 cta = distributor_.dispatch(sm_id, cycle_);
       const bool ok = sms_[sm_id]->launch_cta(cta, cycle_);
-      (void)ok;
+      CAPS_CHECK(ok, "CTA launch failed after can_launch_cta()");
       scanned = 0;  // a launch may have opened room elsewhere; rescan
     } else {
       ++scanned;
@@ -48,18 +50,142 @@ bool Gpu::done() const {
   return mem_.idle();
 }
 
+u64 Gpu::progress_signature() const {
+  // Monotone counters that move whenever the machine does useful work:
+  // instructions retire, requests enter the memory system, L2 probes
+  // complete, DRAM bursts finish, replies fill L1. A livelocked machine
+  // (e.g. an MSHR-full retry spin) advances none of them.
+  u64 sig = mem_.traffic().core_requests;
+  const DramStats d = mem_.dram_stats();
+  sig += d.reads + d.writes;
+  sig += mem_.l2_stats().accesses;
+  for (const auto& sm : sms_) {
+    const SmStats& s = sm->stats();
+    sig += s.issued_instructions + s.l1_fills;
+  }
+  return sig;
+}
+
+void Gpu::check_watchdog() {
+  if (cfg_.watchdog_cycles == 0) return;
+  const u64 sig = progress_signature();
+  if (sig != last_progress_sig_) {
+    last_progress_sig_ = sig;
+    last_progress_cycle_ = cycle_;
+    return;
+  }
+  if (cycle_ - last_progress_cycle_ < cfg_.watchdog_cycles) return;
+
+  // Attribute the hang to the first SM still holding warps; the snapshot
+  // carries every busy SM's per-warp state and queue occupancy regardless.
+  i32 suspect = -1;
+  u32 stuck_warps = 0;
+  for (u32 i = 0; i < sms_.size(); ++i) {
+    if (sms_[i]->resident_warps() > 0) {
+      if (suspect < 0) suspect = static_cast<i32>(i);
+      stuck_warps += sms_[i]->resident_warps();
+    }
+  }
+  std::ostringstream msg;
+  msg << "no forward progress for " << (cycle_ - last_progress_cycle_)
+      << " cycles (" << stuck_warps << " warps resident, "
+      << distributor_.log().size() << "/" << kernel_.grid().count()
+      << " CTAs dispatched)";
+  throw SimError(SimErrorKind::kDeadlock, msg.str(), cycle_, suspect,
+                 snapshot());
+}
+
+MachineSnapshot Gpu::snapshot() const {
+  MachineSnapshot snap;
+  snap.cycle = cycle_;
+  SnapshotSection& g = snap.section("gpu");
+  {
+    std::ostringstream os;
+    os << "ctas dispatched " << distributor_.log().size() << "/"
+       << kernel_.grid().count() << "  last_progress_cycle "
+       << last_progress_cycle_;
+    g.lines.push_back(os.str());
+  }
+  for (const auto& sm : sms_)
+    if (sm->busy()) sm->snapshot_into(snap);
+  mem_.snapshot_into(snap);
+  return snap;
+}
+
 GpuStats Gpu::run() {
   // done() walks SMs and memory queues, so poll it on a coarse grain; the
   // +-63 cycle slack on the final count is far below run-to-run relevance.
+  // The watchdog shares the coarse poll: progress counters are compared
+  // every 64 cycles, far below the 100k-cycle default trip threshold.
   while (true) {
-    if ((cycle_ & 63) == 0 && done()) break;
+    if ((cycle_ & 63) == 0) {
+      if (done()) break;
+      check_watchdog();
+    }
     if (cycle_ >= cfg_.max_cycles) {
       hit_limit_ = true;
       break;
     }
     step();
   }
-  return collect_stats();
+  GpuStats s = collect_stats();
+  s.audit_violations = audit(s);
+  return s;
+}
+
+std::vector<std::string> Gpu::audit(const GpuStats& s) const {
+  std::vector<std::string> v;
+  auto viol = [&v](std::string what) { v.push_back(std::move(what)); };
+  auto expect_eq = [&viol](u64 a, u64 b, const char* what) {
+    if (a != b) {
+      std::ostringstream os;
+      os << what << ": " << a << " != " << b;
+      viol(os.str());
+    }
+  };
+
+  // Counter identities — hold even when the run stopped at the cycle limit.
+  expect_eq(s.sm.l1_hits + s.sm.l1_misses, s.sm.l1_accesses,
+            "L1 hits+misses must equal accesses");
+  expect_eq(s.l2.hits + s.l2.misses, s.l2.accesses,
+            "L2 hits+misses must equal accesses");
+  expect_eq(s.sm.demand_to_mem + s.sm.pf_issued_to_mem + s.sm.stores_to_mem,
+            s.traffic.core_requests,
+            "core requests must equal demand+prefetch+store submissions");
+
+  // Drained-state and conservation checks only make sense when the run
+  // actually completed; at the cycle limit the machine is legitimately
+  // mid-flight.
+  if (s.hit_cycle_limit) return v;
+
+  if (!distributor_.all_dispatched())
+    viol("CTAs remain undispatched after completion");
+  expect_eq(s.ctas_launched, kernel_.grid().count(),
+            "launched CTAs must cover the grid");
+  expect_eq(s.sm.ctas_completed, kernel_.grid().count(),
+            "completed CTAs must cover the grid");
+  // Every read request submitted to the memory system must have produced
+  // exactly one L1 fill (requests issued == filled; drops are impossible in
+  // a clean machine, so a shortfall means a lost reply or leaked MSHR).
+  expect_eq(s.sm.l1_fills, s.sm.demand_to_mem + s.sm.pf_issued_to_mem,
+            "L1 fills must equal read requests sent to memory");
+  for (u32 i = 0; i < sms_.size(); ++i) {
+    if (sms_[i]->resident_warps() > 0) {
+      std::ostringstream os;
+      os << "sm " << i << " still has " << sms_[i]->resident_warps()
+         << " resident warps after completion";
+      viol(os.str());
+    }
+    if (!sms_[i]->ldst().idle()) {
+      std::ostringstream os;
+      os << "sm " << i << " LD/ST unit not drained (demand_q "
+         << sms_[i]->ldst().demand_queue_size() << ", mshr "
+         << sms_[i]->ldst().mshr().size() << ")";
+      viol(os.str());
+    }
+  }
+  if (!mem_.idle()) viol("memory system not drained after completion");
+  return v;
 }
 
 GpuStats Gpu::collect_stats() const {

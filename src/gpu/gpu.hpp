@@ -4,9 +4,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/diag.hpp"
 #include "gpu/cta_distributor.hpp"
 #include "gpu/sm.hpp"
 #include "gpu/sm_stats.hpp"
@@ -25,6 +27,11 @@ struct GpuStats {
   DramStats dram;
   L2Stats l2;
   u64 ctas_launched = 0;
+  /// End-of-run invariant auditor findings; empty means the machine finished
+  /// with fully drained, conserved state. Populated by Gpu::run().
+  std::vector<std::string> audit_violations;
+
+  bool audit_clean() const { return audit_violations.empty(); }
 
   /// Thread-instruction IPC (warp instructions * warp size / cycles),
   /// matching how GPGPU-Sim reports IPC.
@@ -57,7 +64,10 @@ class Gpu {
   Gpu(const GpuConfig& cfg, const Kernel& kernel,
       const SmPolicyFactories& policies, LoadTraceHook trace = nullptr);
 
-  /// Run the kernel to completion (or the configured cycle limit).
+  /// Run the kernel to completion (or the configured cycle limit). Throws
+  /// SimError(kDeadlock) with a machine snapshot if the forward-progress
+  /// watchdog trips; on normal completion the invariant auditor's findings
+  /// are attached to the returned stats.
   GpuStats run();
 
   /// Single-step interface for tests.
@@ -70,8 +80,25 @@ class Gpu {
   const MemorySystem& memory() const { return mem_; }
   GpuStats collect_stats() const;
 
+  /// Structured dump of all live machine state (busy SMs, queue occupancy,
+  /// outstanding MSHR lines). Cheap enough to call from error paths only.
+  MachineSnapshot snapshot() const;
+
+  /// End-of-run invariant auditor: conservation (every request filled,
+  /// every CTA retired) and drained-state checks against `s` (stats
+  /// collected from this GPU). Returns violation descriptions; empty=clean.
+  std::vector<std::string> audit(const GpuStats& s) const;
+
+  /// Mutable access for fault-injection tests (wedge warps, drop replies).
+  StreamingMultiprocessor& sm_for_test(u32 i) { return *sms_[i]; }
+  MemorySystem& memory_for_test() { return mem_; }
+
  private:
   void dispatch_ctas();
+  /// Throws SimError(kDeadlock) when no progress counter has moved for
+  /// cfg_.watchdog_cycles. Called on a coarse grain from run().
+  void check_watchdog();
+  u64 progress_signature() const;
 
   GpuConfig cfg_;
   const Kernel& kernel_;
@@ -80,6 +107,8 @@ class Gpu {
   CtaDistributor distributor_;
   Cycle cycle_ = 0;
   bool hit_limit_ = false;
+  u64 last_progress_sig_ = 0;
+  Cycle last_progress_cycle_ = 0;
 };
 
 }  // namespace caps

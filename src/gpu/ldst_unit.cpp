@@ -1,7 +1,7 @@
 #include "gpu/ldst_unit.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
 
 #include "mem/memory_system.hpp"
 
@@ -19,7 +19,7 @@ LdStUnit::LdStUnit(const GpuConfig& cfg, u32 sm_id, MemorySystem& mem,
       prefetch_q_(cfg.ldst_queue_size * 2) {}
 
 void LdStUnit::push_demand(const L1Access& access) {
-  assert(can_accept(1));
+  CAPS_CHECK(can_accept(1), "LD/ST demand queue overflow");
   demand_q_.push(access);
 }
 
@@ -67,7 +67,8 @@ void LdStUnit::process_replies(Cycle now) {
     if (!mem_.pop_reply(sm_id_, now, reply)) break;
     const bool pf_entry = mshr_.is_prefetch_entry(reply.line);
     std::vector<L1Access> waiters = mshr_.fill(reply.line);
-    assert(!waiters.empty());
+    CAPS_CHECK(!waiters.empty(), "MSHR fill returned no waiters");
+    ++stats_.l1_fills;
 
     // Determine line metadata: a prefetch-allocated entry with no merged
     // demand keeps its prefetched bit; any merged demand consumes the data
@@ -242,6 +243,28 @@ void LdStUnit::cycle(Cycle now) {
 bool LdStUnit::idle() const {
   return demand_q_.empty() && prefetch_q_.empty() && completions_.empty() &&
          mshr_.size() == 0;
+}
+
+void LdStUnit::snapshot_into(MachineSnapshot& snap) const {
+  SnapshotSection& s =
+      snap.section("sm " + std::to_string(sm_id_) + " ld/st");
+  std::ostringstream q;
+  q << "demand_q " << demand_q_.size() << "/" << demand_q_.capacity()
+    << "  prefetch_q " << prefetch_q_.size() << "/" << prefetch_q_.capacity()
+    << "  completions " << completions_.size() << "  mshr " << mshr_.size()
+    << "/" << mshr_.entries();
+  s.lines.push_back(q.str());
+  // The in-flight lines are the most useful lead on a lost reply; cap the
+  // dump so a saturated MSHR stays readable.
+  constexpr std::size_t kMaxLines = 8;
+  const std::vector<Addr> lines = mshr_.outstanding_lines();
+  std::ostringstream m;
+  m << "outstanding:";
+  for (std::size_t i = 0; i < lines.size() && i < kMaxLines; ++i)
+    m << " 0x" << std::hex << lines[i] << std::dec;
+  if (lines.size() > kMaxLines)
+    m << " (+" << lines.size() - kMaxLines << " more)";
+  if (!lines.empty()) s.lines.push_back(m.str());
 }
 
 }  // namespace caps

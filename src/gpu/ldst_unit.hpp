@@ -14,6 +14,7 @@
 
 #include "common/bounded_queue.hpp"
 #include "common/config.hpp"
+#include "common/diag.hpp"
 #include "gpu/sm_stats.hpp"
 #include "mem/cache.hpp"
 #include "mem/memory_request.hpp"
@@ -57,6 +58,10 @@ class LdStUnit {
   bool idle() const;
   std::size_t demand_queue_size() const { return demand_q_.size(); }
   const SetAssocCache& l1() const { return l1_; }
+  const Mshr<L1Access>& mshr() const { return mshr_; }
+
+  /// Append queue/MSHR occupancy to a failure snapshot.
+  void snapshot_into(MachineSnapshot& snap) const;
 
  private:
   void process_replies(Cycle now);

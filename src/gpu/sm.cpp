@@ -1,7 +1,8 @@
 #include "gpu/sm.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <limits>
+#include <sstream>
 
 #include "mem/memory_system.hpp"
 
@@ -21,7 +22,10 @@ StreamingMultiprocessor::StreamingMultiprocessor(
   const u32 wpc = kernel.warps_per_cta();
   max_concurrent_ctas_ =
       std::min(cfg.max_ctas_per_sm, cfg.max_warps_per_sm / wpc);
-  assert(max_concurrent_ctas_ > 0 && "kernel CTA too large for this SM");
+  if (max_concurrent_ctas_ == 0)
+    throw SimError(SimErrorKind::kConfigError,
+                   "kernel CTA too large for this SM (warps/CTA exceeds "
+                   "max_warps_per_sm)");
   for (u32 b = 0; b < max_concurrent_ctas_; ++b)
     free_warp_blocks_.push_back(b * wpc);
   // Hand out in ascending slot order.
@@ -55,8 +59,8 @@ bool StreamingMultiprocessor::launch_cta(const Dim3& cta_id, Cycle now) {
       break;
     }
   }
-  assert(cta_slot < cfg_.max_ctas_per_sm);
-  assert(!free_warp_blocks_.empty());
+  CAPS_CHECK(cta_slot < cfg_.max_ctas_per_sm, "no free CTA slot on launch");
+  CAPS_CHECK(!free_warp_blocks_.empty(), "no free warp block on CTA launch");
   const u32 first_warp = free_warp_blocks_.back();
   free_warp_blocks_.pop_back();
 
@@ -104,7 +108,8 @@ bool StreamingMultiprocessor::warp_waiting_mem(u32 slot) const {
 
 void StreamingMultiprocessor::on_load_done(u32 slot) {
   WarpContext& wc = warps_[slot];
-  assert(wc.outstanding_loads > 0);
+  CAPS_CHECK(wc.outstanding_loads > 0,
+             "load completion for a warp with no outstanding loads");
   if (--wc.outstanding_loads == 0) scheduler_->on_loads_complete(slot);
 }
 
@@ -146,7 +151,7 @@ void StreamingMultiprocessor::issue_memory(u32 slot, const Instruction& ins,
                                            Cycle now) {
   WarpContext& wc = warps_[slot];
   const u32 cta_flat = flatten(wc.cta_id, kernel_.grid());
-  assert(!lines.empty());
+  CAPS_CHECK(!lines.empty(), "memory instruction coalesced to zero lines");
 
   for (const Addr line : lines) {
     L1Access a;
@@ -233,7 +238,7 @@ bool StreamingMultiprocessor::issue(u32 slot, Cycle now) {
       wc.ready_at = now + 1;
       break;
     case Opcode::kLoopEnd: {
-      assert(!wc.loops.empty());
+      CAPS_CHECK(!wc.loops.empty(), "LoopEnd with no open loop frame");
       LoopFrame& frame = wc.loops.back();
       ++frame.iter;
       if (--frame.remaining > 0) {
@@ -284,6 +289,45 @@ void StreamingMultiprocessor::cycle(Cycle now) {
 
 bool StreamingMultiprocessor::busy() const {
   return resident_warps_ > 0 || !ldst_.idle();
+}
+
+void StreamingMultiprocessor::wedge_warp_for_test(u32 slot) {
+  warps_[slot].ready_at = std::numeric_limits<Cycle>::max();
+}
+
+namespace {
+
+const char* status_name(WarpStatus s) {
+  switch (s) {
+    case WarpStatus::kInvalid: return "invalid";
+    case WarpStatus::kActive: return "active";
+    case WarpStatus::kAtBarrier: return "barrier";
+    case WarpStatus::kDone: return "done";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void StreamingMultiprocessor::snapshot_into(MachineSnapshot& snap) const {
+  SnapshotSection& s = snap.section("sm " + std::to_string(id_));
+  {
+    std::ostringstream os;
+    os << "resident_ctas " << resident_ctas_ << "/" << max_concurrent_ctas_
+       << "  resident_warps " << resident_warps_;
+    s.lines.push_back(os.str());
+  }
+  for (u32 w = 0; w < warps_.size(); ++w) {
+    const WarpContext& wc = warps_[w];
+    if (wc.status == WarpStatus::kInvalid || wc.status == WarpStatus::kDone)
+      continue;
+    std::ostringstream os;
+    os << "warp " << w << " [" << status_name(wc.status) << "] cta_slot "
+       << wc.cta_slot << " pc_idx " << wc.pc_idx << " outstanding_loads "
+       << wc.outstanding_loads << " ready_at " << wc.ready_at;
+    s.lines.push_back(os.str());
+  }
+  ldst_.snapshot_into(snap);
 }
 
 }  // namespace caps

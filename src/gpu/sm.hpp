@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/diag.hpp"
 #include "gpu/coalescer.hpp"
 #include "gpu/ldst_unit.hpp"
 #include "gpu/scheduler.hpp"
@@ -63,6 +64,15 @@ class StreamingMultiprocessor {
 
   /// True while any warp is resident or memory operations are in flight.
   bool busy() const;
+
+  u32 resident_warps() const { return resident_warps_; }
+
+  /// Append per-warp state and LD/ST occupancy to a failure snapshot.
+  void snapshot_into(MachineSnapshot& snap) const;
+
+  /// Test-only fault injection: make warp `slot` permanently unready so the
+  /// forward-progress watchdog has a reproducible livelock to detect.
+  void wedge_warp_for_test(u32 slot);
 
   const SmStats& stats() const { return stats_; }
   const Prefetcher& prefetcher() const { return *prefetcher_; }

@@ -12,6 +12,7 @@ void SmStats::merge(const SmStats& o) {
   l1_accesses += o.l1_accesses;
   l1_hits += o.l1_hits;
   l1_misses += o.l1_misses;
+  l1_fills += o.l1_fills;
   l1_mshr_merges += o.l1_mshr_merges;
   demand_to_mem += o.demand_to_mem;
   stores_to_mem += o.stores_to_mem;

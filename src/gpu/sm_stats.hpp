@@ -19,6 +19,7 @@ struct SmStats {
   u64 l1_accesses = 0;
   u64 l1_hits = 0;
   u64 l1_misses = 0;            ///< primary + secondary
+  u64 l1_fills = 0;             ///< memory replies filled into L1
   u64 l1_mshr_merges = 0;
   u64 demand_to_mem = 0;        ///< primary demand misses sent downstream
   u64 stores_to_mem = 0;

@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include <stdexcept>
+
 #include "core/caps_prefetcher.hpp"
 #include "core/pas_scheduler.hpp"
 #include "prefetch/factory.hpp"
@@ -15,6 +17,16 @@ SchedulerKind default_scheduler_for(PrefetcherKind pf) {
     default:
       return SchedulerKind::kTwoLevel;
   }
+}
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kDeadlock: return "deadlock";
+    case RunStatus::kInvariantViolation: return "invariant_violation";
+    case RunStatus::kConfigError: return "config_error";
+  }
+  return "?";
 }
 
 SmPolicyFactories make_policies(PrefetcherKind pf, SchedulerKind sched,
@@ -39,11 +51,15 @@ SmPolicyFactories make_policies(PrefetcherKind pf, SchedulerKind sched,
   return p;
 }
 
-RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace) {
+namespace {
+
+RunResult run_experiment_unchecked(const RunConfig& cfg, LoadTraceHook trace) {
   const Workload& w = find_workload(cfg.workload);
   GpuConfig gc = cfg.base;
   gc.prefetcher = cfg.prefetcher;
   if (cfg.max_ctas_per_sm) gc.max_ctas_per_sm = *cfg.max_ctas_per_sm;
+  if (cfg.max_cycles) gc.max_cycles = *cfg.max_cycles;
+  if (cfg.watchdog_cycles) gc.watchdog_cycles = *cfg.watchdog_cycles;
   gc.caps.eager_wakeup = cfg.caps_eager_wakeup;
   const SchedulerKind sched =
       cfg.scheduler.value_or(default_scheduler_for(cfg.prefetcher));
@@ -52,12 +68,55 @@ RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace) {
   SmPolicyFactories policies =
       make_policies(cfg.prefetcher, sched, cfg.caps_eager_wakeup);
   Gpu gpu(gc, w.kernel, policies, std::move(trace));
+  if (cfg.pre_run_hook) cfg.pre_run_hook(gpu);
 
   RunResult r;
   r.cfg = cfg;
   r.scheduler_used = sched;
   r.stats = gpu.run();
+  if (!r.stats.audit_clean()) {
+    r.status = RunStatus::kInvariantViolation;
+    r.error = "invariant audit failed: " + r.stats.audit_violations.front();
+    if (r.stats.audit_violations.size() > 1)
+      r.error += " (+" +
+                 std::to_string(r.stats.audit_violations.size() - 1) +
+                 " more)";
+    r.snapshot = gpu.snapshot();
+  }
   return r;
+}
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace) {
+  try {
+    return run_experiment_unchecked(cfg, std::move(trace));
+  } catch (const SimError& e) {
+    RunResult r;
+    r.cfg = cfg;
+    r.status = e.kind() == SimErrorKind::kDeadlock
+                   ? RunStatus::kDeadlock
+                   : (e.kind() == SimErrorKind::kConfigError
+                          ? RunStatus::kConfigError
+                          : RunStatus::kInvariantViolation);
+    r.error = e.what();
+    r.snapshot = e.snapshot();
+    return r;
+  } catch (const std::invalid_argument& e) {
+    // GpuConfig::validate and kernel construction report through here.
+    RunResult r;
+    r.cfg = cfg;
+    r.status = RunStatus::kConfigError;
+    r.error = e.what();
+    return r;
+  } catch (const std::out_of_range& e) {
+    // Unknown workload abbreviation.
+    RunResult r;
+    r.cfg = cfg;
+    r.status = RunStatus::kConfigError;
+    r.error = e.what();
+    return r;
+  }
 }
 
 const std::vector<PrefetcherKind>& prefetcher_legend() {
@@ -68,18 +127,22 @@ const std::vector<PrefetcherKind>& prefetcher_legend() {
   return legend;
 }
 
-std::vector<RunResult> run_all_prefetchers(const std::string& workload,
-                                           const GpuConfig& base) {
+std::vector<RunResult> run_all_prefetchers(
+    const std::string& workload, const GpuConfig& base,
+    const std::function<void(RunConfig&)>& customize) {
   std::vector<RunResult> out;
-  RunConfig rc;
-  rc.workload = workload;
-  rc.base = base;
-  rc.prefetcher = PrefetcherKind::kNone;
-  out.push_back(run_experiment(rc));
-  for (PrefetcherKind pf : prefetcher_legend()) {
+  auto run_one = [&](PrefetcherKind pf) {
+    RunConfig rc;
+    rc.workload = workload;
+    rc.base = base;
     rc.prefetcher = pf;
+    if (customize) customize(rc);
+    // run_experiment captures failures in the result, so one wedged or
+    // misconfigured entry never aborts the remaining configurations.
     out.push_back(run_experiment(rc));
-  }
+  };
+  run_one(PrefetcherKind::kNone);
+  for (PrefetcherKind pf : prefetcher_legend()) run_one(pf);
   return out;
 }
 

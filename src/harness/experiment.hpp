@@ -1,12 +1,19 @@
 // Experiment runner: wires a workload, a scheduler, and a prefetch engine
 // into a Gpu and runs it. Every bench binary and example goes through this
 // entry point so configurations stay comparable.
+//
+// The runner is fault-tolerant: a configuration that deadlocks, trips the
+// invariant auditor, or is inconsistently configured produces a RunResult
+// tagged with the failure and its machine snapshot instead of tearing down
+// the whole sweep.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "common/config.hpp"
+#include "common/diag.hpp"
 #include "gpu/gpu.hpp"
 #include "workloads/workload.hpp"
 
@@ -23,6 +30,14 @@ struct RunConfig {
   std::optional<u32> max_ctas_per_sm;
   /// CAPS eager wake-up toggle (Fig. 14a ablation).
   bool caps_eager_wakeup = true;
+  /// Cycle-budget override: cap this run shorter (or longer) than the
+  /// machine default without cloning the whole base config.
+  std::optional<u64> max_cycles;
+  /// Forward-progress watchdog override (0 disables).
+  std::optional<u64> watchdog_cycles;
+  /// Test-only: invoked on the constructed Gpu before run(), e.g. to
+  /// install fault injection (dropped replies, wedged warps).
+  std::function<void(Gpu&)> pre_run_hook;
   /// Base machine config (Table III defaults).
   GpuConfig base{};
 };
@@ -30,23 +45,44 @@ struct RunConfig {
 /// Which scheduler the paper pairs with each prefetcher by default.
 SchedulerKind default_scheduler_for(PrefetcherKind pf);
 
+/// How a configuration ended. Everything except kOk means stats are partial
+/// (kInvariantViolation) or absent (kDeadlock/kConfigError).
+enum class RunStatus {
+  kOk,
+  kDeadlock,            ///< forward-progress watchdog fired
+  kInvariantViolation,  ///< CAPS_CHECK fired or the end-of-run audit failed
+  kConfigError,         ///< bad GpuConfig / unknown workload
+};
+
+const char* to_string(RunStatus s);
+
 struct RunResult {
   RunConfig cfg;
   SchedulerKind scheduler_used = SchedulerKind::kTwoLevel;
   GpuStats stats;
+  RunStatus status = RunStatus::kOk;
+  std::string error;          ///< one-line failure summary (empty when ok)
+  MachineSnapshot snapshot;   ///< machine state at failure (empty when ok)
+
+  bool ok() const { return status == RunStatus::kOk; }
 };
 
 /// Build the per-SM policy factories for a resolved configuration.
 SmPolicyFactories make_policies(PrefetcherKind pf, SchedulerKind sched,
                                 bool caps_eager_wakeup);
 
-/// Run one configuration to completion.
+/// Run one configuration to completion. Never throws for simulation or
+/// configuration failures — inspect RunResult::status.
 RunResult run_experiment(const RunConfig& cfg, LoadTraceHook trace = nullptr);
 
 /// Convenience: run `workload` under every Fig. 10 configuration (BASE +
-/// the seven prefetchers) and return results in legend order.
-std::vector<RunResult> run_all_prefetchers(const std::string& workload,
-                                           const GpuConfig& base = GpuConfig{});
+/// the seven prefetchers) and return results in legend order. Failed
+/// configurations are recorded (status != kOk) and the sweep continues.
+/// `customize` (optional) edits each RunConfig before it runs — used by
+/// sweeps with per-config overrides and by fault-injection tests.
+std::vector<RunResult> run_all_prefetchers(
+    const std::string& workload, const GpuConfig& base = GpuConfig{},
+    const std::function<void(RunConfig&)>& customize = nullptr);
 
 /// The Fig. 10 legend order.
 const std::vector<PrefetcherKind>& prefetcher_legend();

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
+
+#include "common/diag.hpp"
 
 namespace caps {
 
@@ -16,7 +17,8 @@ DramChannel::DramChannel(const GpuConfig& cfg, DoneCallback done)
       banks_(cfg.dram_banks) {}
 
 void DramChannel::submit(const MemRequest& req) {
-  assert(can_accept());
+  CAPS_CHECK(can_accept(),
+             "DRAM queue overflow: caller must check can_accept()");
   Pending p;
   p.req = req;
   const u64 row_id = req.line / row_bytes_;

@@ -35,8 +35,12 @@ class DramChannel {
   /// Advance one core cycle.
   void cycle(Cycle now);
 
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return queue_.empty() && in_service_.empty(); }
   const DramStats& stats() const { return stats_; }
+
+  std::size_t queue_size() const { return queue_.size(); }
+  std::size_t queue_capacity() const { return queue_capacity_; }
+  std::size_t in_service() const { return in_service_.size(); }
 
  private:
   struct Pending {

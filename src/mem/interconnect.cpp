@@ -1,6 +1,6 @@
 #include "mem/interconnect.hpp"
 
-#include <cassert>
+#include "common/diag.hpp"
 
 namespace caps {
 
@@ -8,14 +8,15 @@ Crossbar::Crossbar(u32 num_dests, u32 latency, u32 queue_capacity)
     : latency_(latency), queue_capacity_(queue_capacity), queues_(num_dests) {}
 
 void Crossbar::push(u32 dest, const MemRequest& req, Cycle now) {
-  assert(dest < queues_.size());
-  assert(can_accept(dest));
+  CAPS_CHECK(dest < queues_.size(), "crossbar push to invalid destination");
+  CAPS_CHECK(can_accept(dest),
+             "crossbar queue overflow: caller must check can_accept()");
   queues_[dest].push_back(InFlight{now + latency_, req});
   ++stats_.messages;
 }
 
 bool Crossbar::pop(u32 dest, Cycle now, MemRequest& out) {
-  assert(dest < queues_.size());
+  CAPS_CHECK(dest < queues_.size(), "crossbar pop from invalid destination");
   auto& q = queues_[dest];
   if (q.empty() || q.front().ready_at > now) return false;
   stats_.total_queue_delay += now - q.front().ready_at;

@@ -36,6 +36,10 @@ class Crossbar {
   bool idle() const;
   const XbarStats& stats() const { return stats_; }
 
+  u32 num_dests() const { return static_cast<u32>(queues_.size()); }
+  std::size_t queued(u32 dest) const { return queues_[dest].size(); }
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
  private:
   struct InFlight {
     Cycle ready_at;

@@ -54,6 +54,11 @@ class L2Partition {
   bool idle() const;
   const L2Stats& stats() const { return stats_; }
 
+  std::size_t probe_queue_size() const { return probe_queue_.size(); }
+  std::size_t reply_queue_size() const { return replies_.size(); }
+  std::size_t mshr_size() const { return mshr_.size(); }
+  std::size_t pending_writebacks() const { return pending_writebacks_.size(); }
+
  private:
   struct Staged {
     Cycle ready_at;

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hpp"
 
+#include <sstream>
+
 namespace caps {
 
 MemorySystem::MemorySystem(const GpuConfig& cfg)
@@ -86,6 +88,40 @@ DramStats MemorySystem::dram_stats() const {
     agg.queue_full_stalls += s.queue_full_stalls;
   }
   return agg;
+}
+
+void MemorySystem::snapshot_into(MachineSnapshot& snap) const {
+  auto xbar_line = [](const Crossbar& x, const char* what) {
+    std::ostringstream os;
+    os << what << " queued:";
+    for (u32 d = 0; d < x.num_dests(); ++d)
+      os << " " << x.queued(d) << "/" << x.queue_capacity();
+    return os.str();
+  };
+  SnapshotSection& s = snap.section("memory system");
+  s.lines.push_back(xbar_line(req_xbar_, "req_xbar"));
+  s.lines.push_back(xbar_line(reply_xbar_, "reply_xbar"));
+  for (u32 p = 0; p < partitions_.size(); ++p) {
+    const L2Partition& part = *partitions_[p];
+    if (part.idle()) continue;
+    std::ostringstream os;
+    os << "l2 partition " << p << ": probe_q " << part.probe_queue_size()
+       << " replies " << part.reply_queue_size() << " mshr "
+       << part.mshr_size() << " pending_wb " << part.pending_writebacks();
+    s.lines.push_back(os.str());
+  }
+  for (u32 c = 0; c < channels_.size(); ++c) {
+    const DramChannel& ch = *channels_[c];
+    if (ch.idle()) continue;
+    std::ostringstream os;
+    os << "dram channel " << c << ": queue " << ch.queue_size() << "/"
+       << ch.queue_capacity() << " in_service " << ch.in_service();
+    s.lines.push_back(os.str());
+  }
+  if (dropped_replies_ > 0) {
+    s.lines.push_back("dropped_replies " + std::to_string(dropped_replies_) +
+                      " (fault injection)");
+  }
 }
 
 L2Stats MemorySystem::l2_stats() const {

@@ -2,10 +2,12 @@
 // channels -> reply crossbar. Owns global traffic statistics (Fig. 13).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/diag.hpp"
 #include "mem/dram.hpp"
 #include "mem/interconnect.hpp"
 #include "mem/l2_partition.hpp"
@@ -46,12 +48,28 @@ class MemorySystem {
   void cycle(Cycle now);
 
   /// Pop one reply for SM `sm_id` (per-SM reply bandwidth is enforced by the
-  /// caller via how often it pops).
+  /// caller via how often it pops). Replies the test-only drop filter claims
+  /// are swallowed here — the canonical "lost response" fault.
   bool pop_reply(u32 sm_id, Cycle now, MemRequest& out) {
-    return reply_xbar_.pop(sm_id, now, out);
+    while (reply_xbar_.pop(sm_id, now, out)) {
+      if (!reply_drop_ || !reply_drop_(out)) return true;
+      ++dropped_replies_;
+    }
+    return false;
   }
 
+  /// Test-only fault injection: replies for which the filter returns true
+  /// are silently discarded, wedging the warps waiting on them. Used by the
+  /// integrity tests to provoke the forward-progress watchdog.
+  void set_reply_drop_for_test(std::function<bool(const MemRequest&)> f) {
+    reply_drop_ = std::move(f);
+  }
+  u64 dropped_replies() const { return dropped_replies_; }
+
   bool idle() const;
+
+  /// Append crossbar/partition/DRAM occupancy to a failure snapshot.
+  void snapshot_into(MachineSnapshot& snap) const;
 
   const TrafficStats& traffic() const { return traffic_; }
   const XbarStats& request_xbar_stats() const { return req_xbar_.stats(); }
@@ -65,6 +83,8 @@ class MemorySystem {
   std::vector<std::unique_ptr<DramChannel>> channels_;
   std::vector<std::unique_ptr<L2Partition>> partitions_;
   TrafficStats traffic_;
+  std::function<bool(const MemRequest&)> reply_drop_;  ///< test-only fault
+  u64 dropped_replies_ = 0;
   Cycle now_ = 0;  ///< latched each cycle() for the DRAM done callback
 };
 

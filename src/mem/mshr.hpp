@@ -1,13 +1,17 @@
 // Miss Status Holding Registers: track in-flight misses per line and merge
 // subsequent accesses to the same line (secondary misses). Templated on the
 // waiter type: the L1 parks L1Access descriptors, the L2 parks MemRequests.
+// Misuse (allocate-when-full, merge-past-capacity, fill-of-absent-line)
+// throws SimError in every build mode: a leaked or double-filled MSHR entry
+// silently wedges whole SMs otherwise.
 #pragma once
 
-#include <cassert>
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/diag.hpp"
 #include "common/types.hpp"
 
 namespace caps {
@@ -20,6 +24,7 @@ class Mshr {
   bool full() const { return table_.size() >= entries_; }
   bool has(Addr line) const { return table_.contains(line); }
   std::size_t size() const { return table_.size(); }
+  u32 entries() const { return entries_; }
 
   /// True if an access to `line` can be merged into an existing entry.
   bool can_merge(Addr line) const {
@@ -30,7 +35,8 @@ class Mshr {
   /// Allocate a new entry (primary miss). Precondition: !full() && !has(line).
   /// `by_prefetch` tags the entry for late-prefetch accounting.
   void allocate(Addr line, Waiter waiter, bool by_prefetch = false) {
-    assert(!full() && !has(line));
+    CAPS_CHECK(!full(), "MSHR allocate with no free entry");
+    CAPS_CHECK(!has(line), "MSHR allocate of an already in-flight line");
     Entry e;
     e.allocated_by_prefetch = by_prefetch;
     e.waiters.push_back(std::move(waiter));
@@ -40,7 +46,9 @@ class Mshr {
   /// Merge a secondary miss. Precondition: can_merge(line).
   void merge(Addr line, Waiter waiter) {
     auto it = table_.find(line);
-    assert(it != table_.end() && it->second.waiters.size() < max_merged_);
+    CAPS_CHECK(it != table_.end(), "MSHR merge into absent entry");
+    CAPS_CHECK(it->second.waiters.size() < max_merged_,
+               "MSHR merge past per-entry capacity");
     it->second.waiters.push_back(std::move(waiter));
   }
 
@@ -53,10 +61,19 @@ class Mshr {
   /// Service a fill: removes the entry, returns its waiters in merge order.
   std::vector<Waiter> fill(Addr line) {
     auto it = table_.find(line);
-    assert(it != table_.end());
+    CAPS_CHECK(it != table_.end(), "MSHR fill for a line with no entry");
     std::vector<Waiter> waiters = std::move(it->second.waiters);
     table_.erase(it);
     return waiters;
+  }
+
+  /// Sorted in-flight line addresses (watchdog snapshots, auditing).
+  std::vector<Addr> outstanding_lines() const {
+    std::vector<Addr> lines;
+    lines.reserve(table_.size());
+    for (const auto& [line, entry] : table_) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    return lines;
   }
 
  private:

@@ -108,6 +108,24 @@ TEST(ConfigTest, RejectsChunkSmallerThanLine) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
+TEST(ConfigTest, RejectsZeroSets) {
+  GpuConfig cfg;
+  cfg.l1d.size_bytes = 0;  // 0 % (line*assoc) == 0, but num_sets() == 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsMergeCapacityAboveEntryCount) {
+  GpuConfig cfg;
+  cfg.l1d.mshr_max_merged = cfg.l1d.mshr_entries + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ConfigTest, RejectsZeroMaxCycles) {
+  GpuConfig cfg;
+  cfg.max_cycles = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 TEST(ConfigTest, DramClockRatioScalesToCore) {
   GpuConfig cfg;
   EXPECT_NEAR(cfg.dram_clock_ratio(), 1400.0 / 924.0, 1e-9);

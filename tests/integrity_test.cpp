@@ -1,0 +1,200 @@
+// End-to-end tests for the simulation integrity layer: the forward-progress
+// watchdog (fault injection via dropped replies and wedged warps), the
+// end-of-run invariant auditor, and the fault-tolerant experiment harness.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "gpu/gpu.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+namespace {
+
+GpuConfig tiny_cfg() {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  cfg.max_cycles = 2'000'000;
+  cfg.watchdog_cycles = 2'000;
+  return cfg;
+}
+
+Gpu make_gpu(const GpuConfig& cfg, const std::string& wl) {
+  return Gpu(cfg, find_workload(wl).kernel,
+             make_policies(PrefetcherKind::kNone, SchedulerKind::kTwoLevel,
+                           /*caps_eager_wakeup=*/true));
+}
+
+// A simulation whose memory system silently swallows replies must be caught
+// by the watchdog, and the SimError must name a stalled SM and carry per-warp
+// state plus queue occupancies — the acceptance scenario for the layer.
+TEST(WatchdogTest, DroppedRepliesRaiseDeadlockWithSnapshot) {
+  const GpuConfig cfg = tiny_cfg();
+  Gpu gpu = make_gpu(cfg, "MM");
+  u64 seen = 0;
+  gpu.memory_for_test().set_reply_drop_for_test(
+      [&seen](const MemRequest&) { return ++seen > 10; });
+
+  try {
+    gpu.run();
+    FAIL() << "watchdog did not fire on a reply-dropping memory system";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kDeadlock);
+    EXPECT_GE(e.sm_id(), 0);
+    EXPECT_GT(e.cycle(), 0u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no forward progress"), std::string::npos) << what;
+
+    const MachineSnapshot& snap = e.snapshot();
+    EXPECT_NE(snap.find("memory system"), nullptr);
+    // Per-warp state for the stalled SM: the snapshot must name warps with
+    // their outstanding loads so the user can see *what* is stuck.
+    const std::string dump = snap.to_string();
+    EXPECT_NE(dump.find("warp "), std::string::npos) << dump;
+    EXPECT_NE(dump.find("outstanding_loads"), std::string::npos) << dump;
+    // Queue occupancies from the LD/ST unit (demand queue, MSHR).
+    EXPECT_NE(dump.find("ld/st"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("mshr"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("dropped"), std::string::npos) << dump;
+  }
+}
+
+// A single permanently-unready warp must eventually starve the machine
+// (its CTA never retires) and trip the watchdog even though the memory
+// system is healthy.
+TEST(WatchdogTest, WedgedWarpRaisesDeadlock) {
+  const GpuConfig cfg = tiny_cfg();
+  Gpu gpu = make_gpu(cfg, "SCN");
+
+  // Step until SM 0 has resident warps, then wedge its first slot.
+  while (gpu.sm(0).resident_warps() == 0 && !gpu.done()) gpu.step();
+  ASSERT_GT(gpu.sm(0).resident_warps(), 0u);
+  gpu.sm_for_test(0).wedge_warp_for_test(0);
+
+  try {
+    gpu.run();
+    FAIL() << "watchdog did not fire on a wedged warp";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), SimErrorKind::kDeadlock);
+    EXPECT_EQ(e.sm_id(), 0);  // SM 0 holds the only remaining warps
+    const std::string dump = e.snapshot().to_string();
+    EXPECT_NE(dump.find("[sm 0]"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("warp 0"), std::string::npos) << dump;
+  }
+}
+
+TEST(WatchdogTest, ZeroDisablesWatchdog) {
+  GpuConfig cfg = tiny_cfg();
+  cfg.watchdog_cycles = 0;      // disabled: the run must fall through to
+  cfg.max_cycles = 30'000;      // the cycle budget instead of throwing
+  Gpu gpu = make_gpu(cfg, "MM");
+  gpu.memory_for_test().set_reply_drop_for_test(
+      [](const MemRequest&) { return true; });
+  GpuStats s{};
+  EXPECT_NO_THROW(s = gpu.run());
+  EXPECT_TRUE(s.hit_cycle_limit);
+}
+
+// The harness converts watchdog SimErrors into a tagged RunResult and the
+// prefetcher sweep keeps going: exactly the wedged config reports kDeadlock,
+// every other config completes normally.
+TEST(HarnessFaultToleranceTest, SweepSkipsDeadlockedConfigAndContinues) {
+  GpuConfig base;
+  base.num_sms = 2;
+  base.watchdog_cycles = 2'000;
+
+  const auto results = run_all_prefetchers(
+      "SCN", base, [](RunConfig& rc) {
+        if (rc.prefetcher != PrefetcherKind::kNlp) return;
+        rc.pre_run_hook = [](Gpu& gpu) {
+          auto dropped = std::make_shared<u64>(0);
+          gpu.memory_for_test().set_reply_drop_for_test(
+              [dropped](const MemRequest&) { return ++*dropped > 10; });
+        };
+      });
+
+  // BASE plus the seven legend prefetchers.
+  ASSERT_EQ(results.size(), prefetcher_legend().size() + 1);
+  int deadlocks = 0;
+  for (const RunResult& r : results) {
+    if (r.cfg.prefetcher == PrefetcherKind::kNlp) {
+      ++deadlocks;
+      EXPECT_EQ(r.status, RunStatus::kDeadlock);
+      EXPECT_FALSE(r.error.empty());
+      EXPECT_FALSE(r.snapshot.empty());
+      EXPECT_NE(r.snapshot.find("memory system"), nullptr);
+    } else {
+      EXPECT_EQ(r.status, RunStatus::kOk)
+          << to_string(r.cfg.prefetcher) << ": " << r.error;
+      EXPECT_GT(r.stats.sm.issued_instructions, 0u);
+      EXPECT_TRUE(r.stats.audit_clean());
+    }
+  }
+  EXPECT_EQ(deadlocks, 1);
+}
+
+TEST(HarnessFaultToleranceTest, UnknownWorkloadIsConfigError) {
+  RunConfig rc;
+  rc.workload = "NOPE";
+  const RunResult r = run_experiment(rc);
+  EXPECT_EQ(r.status, RunStatus::kConfigError);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(HarnessFaultToleranceTest, InvalidGpuConfigIsConfigError) {
+  RunConfig rc;
+  rc.workload = "MM";
+  rc.base.l1d.mshr_max_merged = rc.base.l1d.mshr_entries + 1;
+  const RunResult r = run_experiment(rc);
+  EXPECT_EQ(r.status, RunStatus::kConfigError);
+  EXPECT_NE(r.error.find("merge"), std::string::npos) << r.error;
+}
+
+TEST(HarnessFaultToleranceTest, RunConfigOverridesApply) {
+  RunConfig rc;
+  rc.workload = "MM";
+  rc.base.num_sms = 2;
+  rc.max_cycles = 500;  // far too small: must stop at the budget, still kOk
+  rc.watchdog_cycles = 0;
+  const RunResult r = run_experiment(rc);
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_TRUE(r.stats.hit_cycle_limit);
+  EXPECT_LE(r.stats.cycles, 600u);
+}
+
+// The auditor must pass on every seed workload under the default machine —
+// the conservation laws hold on healthy runs.
+TEST(AuditorTest, CleanOnAllSeedWorkloads) {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  for (const Workload& wl : workload_suite()) {
+    RunConfig rc;
+    rc.workload = wl.abbr;
+    rc.base = cfg;
+    const RunResult r = run_experiment(rc);
+    EXPECT_EQ(r.status, RunStatus::kOk) << wl.abbr << ": " << r.error;
+    EXPECT_TRUE(r.stats.audit_clean())
+        << wl.abbr << ": " << (r.stats.audit_violations.empty()
+                                   ? std::string("-")
+                                   : r.stats.audit_violations.front());
+  }
+}
+
+// Tampered counters must be caught: the identity checks in the auditor are
+// not vacuous.
+TEST(AuditorTest, DetectsCounterTampering) {
+  const GpuConfig cfg = tiny_cfg();
+  Gpu gpu = make_gpu(cfg, "MM");
+  const GpuStats clean = gpu.run();
+  ASSERT_TRUE(clean.audit_clean());
+
+  GpuStats bad = gpu.collect_stats();
+  bad.sm.l1_misses += 1;  // break hits + misses == accesses
+  const auto violations = gpu.audit(bad);
+  EXPECT_FALSE(violations.empty());
+}
+
+}  // namespace
+}  // namespace caps
