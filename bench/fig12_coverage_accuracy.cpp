@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
       const auto& v = means[to_string(pf)];
       double sum = 0;
       for (double x : v) sum += x;
-      mean_row.push_back(fmt_percent(v.empty() ? 0 : sum / v.size()));
+      mean_row.push_back(fmt_percent(
+          v.empty() ? 0 : sum / static_cast<double>(v.size())));
     }
     t.add_row(mean_row);
 

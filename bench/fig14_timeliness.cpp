@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
       double sum = 0;
       for (double x : ratios) sum += x;
       t.add_row({c.label,
-                 fmt_percent(ratios.empty() ? 0 : sum / ratios.size(), 2)});
+                 fmt_percent(
+                     ratios.empty() ? 0 : sum / static_cast<double>(ratios.size()),
+                     2)});
     }
     std::printf("%s\n", t.to_string().c_str());
     std::printf("Paper shape: CAPS ~0.91%%, slightly higher without the "

@@ -79,6 +79,8 @@ void GpuConfig::validate() const {
           "max coalesced lines out of range");
   require(baseline_pf.degree >= 1, "prefetch degree must be positive");
   require(baseline_pf.macro_block_lines >= 2, "macro block must span >=2 lines");
+  require(baseline_pf.macro_block_lines <= 64,
+          "macro block exceeds the 64-line LAP miss-mask capacity");
   require(max_cycles > 0, "max_cycles must be positive");
 }
 

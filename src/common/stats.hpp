@@ -47,4 +47,29 @@ inline double ratio(u64 num, u64 den, double if_zero = 0.0) {
   return den == 0 ? if_zero : static_cast<double>(num) / static_cast<double>(den);
 }
 
+// --------------------------------------------------------------------------
+// Counter registry convention.
+//
+// Every `u64`/`Cycle` counter field of a `*Stats` struct must be listed in
+// that struct's static `for_each_counter_member()` visitor. merge() and the
+// end-of-run auditor (Gpu::audit) iterate the registry rather than naming
+// fields one by one, so a counter missing from the registry would silently
+// escape both aggregation and auditing. tools/capsim-lint rule
+// `counter-registry` enforces the listing at lint time.
+//
+// The canonical shape (see SmStats, DramStats, ...):
+//
+//   template <typename F> static void for_each_counter_member(F&& f) {
+//     f("reads", &DramStats::reads);
+//     ...
+//   }
+//   template <typename F> void for_each_counter(F&& f) const {
+//     for_each_counter_member(
+//         [&](const char* name, auto m) { f(name, this->*m); });
+//   }
+//   void merge(const DramStats& o) {
+//     for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
+//   }
+// --------------------------------------------------------------------------
+
 }  // namespace caps

@@ -1,6 +1,5 @@
 #include "core/caps_prefetcher.hpp"
 
-#include <cassert>
 
 namespace caps {
 

@@ -48,7 +48,7 @@ class PasGtoScheduler final : public Scheduler {
       return best;
     }
     // Plain GTO.
-    if (greedy_ != kNoWarp && warps_[greedy_].runnable() &&
+    if (greedy_ != kNoWarp && warps_[static_cast<u32>(greedy_)].runnable() &&
         eligible_(static_cast<u32>(greedy_), now))
       return greedy_;
     best_age = ~0ULL;

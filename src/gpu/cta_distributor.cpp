@@ -1,17 +1,17 @@
 #include "gpu/cta_distributor.hpp"
 
-#include <cassert>
+#include "common/diag.hpp"
 
 namespace caps {
 
 CtaDistributor::CtaDistributor(const Dim3& grid, u32 num_sms)
     : grid_(grid), num_sms_(num_sms), total_(grid.count()) {
-  assert(num_sms_ > 0);
+  CAPS_CHECK(num_sms_ > 0, "CTA distributor needs at least one SM");
   log_.reserve(total_);
 }
 
 Dim3 CtaDistributor::dispatch(u32 sm, Cycle now) {
-  assert(!all_dispatched());
+  CAPS_CHECK(!all_dispatched(), "dispatch() past the end of the grid");
   const u32 flat = next_cta_++;
   log_.push_back(CtaAssignment{flat, sm, now});
   return unflatten(flat, grid_);

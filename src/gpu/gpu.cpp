@@ -144,6 +144,29 @@ std::vector<std::string> Gpu::audit(const GpuStats& s) const {
     }
   };
 
+  // Registry sweep: every counter in every stats group is checked for a
+  // value within 2^62 of wrap. A u64 that high cannot be reached by a real
+  // run; it almost certainly means a negative intermediate was converted to
+  // unsigned (the exact bug class -Wconversion/-Wsign-conversion guard the
+  // sources against, re-checked here at runtime for computed stats).
+  constexpr u64 kCounterCeiling = u64{1} << 62;
+  auto sweep = [&viol](const char* group, const auto& st) {
+    st.for_each_counter([&viol, group](const char* name, u64 value) {
+      if (value > kCounterCeiling) {
+        std::ostringstream os;
+        os << group << "." << name << " = " << value
+           << " looks like unsigned underflow";
+        viol(os.str());
+      }
+    });
+  };
+  sweep("gpu", s);
+  sweep("sm", s.sm);
+  sweep("pf_engine", s.pf_engine);
+  sweep("traffic", s.traffic);
+  sweep("dram", s.dram);
+  sweep("l2", s.l2);
+
   // Counter identities — hold even when the run stopped at the cycle limit.
   expect_eq(s.sm.l1_hits + s.sm.l1_misses, s.sm.l1_accesses,
             "L1 hits+misses must equal accesses");

@@ -33,6 +33,21 @@ struct GpuStats {
 
   bool audit_clean() const { return audit_violations.empty(); }
 
+  /// Counter registry (see stats.hpp) for the top-level counters; the
+  /// nested sm/pf_engine/traffic/dram/l2 groups carry their own registries
+  /// and are swept group-by-group by Gpu::audit().
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("cycles", &GpuStats::cycles);
+    f("ctas_launched", &GpuStats::ctas_launched);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
   /// Thread-instruction IPC (warp instructions * warp size / cycles),
   /// matching how GPGPU-Sim reports IPC.
   double ipc() const {

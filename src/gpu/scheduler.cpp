@@ -1,7 +1,8 @@
 #include "gpu/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/diag.hpp"
 
 namespace caps {
 
@@ -26,7 +27,7 @@ void GtoScheduler::on_warp_done(u32 slot) {
 }
 
 i32 GtoScheduler::pick(Cycle now) {
-  if (greedy_ != kNoWarp && warps_[greedy_].runnable() &&
+  if (greedy_ != kNoWarp && warps_[static_cast<u32>(greedy_)].runnable() &&
       eligible_(static_cast<u32>(greedy_), now))
     return greedy_;
   // Oldest eligible warp by launch order.
@@ -168,7 +169,7 @@ std::unique_ptr<Scheduler> make_scheduler(
       // gpu -> core dependency cycle; reaching here is a wiring bug.
       break;
   }
-  assert(false && "make_scheduler: unsupported kind");
+  CAPS_CHECK(false, "make_scheduler: unsupported kind");
   return nullptr;
 }
 

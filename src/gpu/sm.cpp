@@ -39,7 +39,8 @@ StreamingMultiprocessor::StreamingMultiprocessor(
 
   ldst_.set_load_done([this](u32 slot) { on_load_done(slot); });
   ldst_.set_prefetch_fill([this](i32 slot) {
-    if (slot != kNoWarp && warps_[slot].status == WarpStatus::kActive)
+    if (slot != kNoWarp &&
+        warps_[static_cast<u32>(slot)].status == WarpStatus::kActive)
       scheduler_->on_prefetch_fill(static_cast<u32>(slot));
   });
   ldst_.set_miss_observer([this](Addr line, Addr pc, i32 warp_slot) {

@@ -3,33 +3,9 @@
 namespace caps {
 
 void SmStats::merge(const SmStats& o) {
-  active_cycles += o.active_cycles;
-  issued_instructions += o.issued_instructions;
-  issue_slots += o.issue_slots;
-  stall_cycles_all_mem += o.stall_cycles_all_mem;
-  stall_ldst_full += o.stall_ldst_full;
-  ctas_completed += o.ctas_completed;
-  l1_accesses += o.l1_accesses;
-  l1_hits += o.l1_hits;
-  l1_misses += o.l1_misses;
-  l1_fills += o.l1_fills;
-  l1_mshr_merges += o.l1_mshr_merges;
-  demand_to_mem += o.demand_to_mem;
-  stores_to_mem += o.stores_to_mem;
-  stall_mshr_full += o.stall_mshr_full;
-  stall_merge_full += o.stall_merge_full;
-  stall_xbar_full += o.stall_xbar_full;
-  pf_generated += o.pf_generated;
-  pf_dropped_queue_full += o.pf_dropped_queue_full;
-  pf_dropped_hit += o.pf_dropped_hit;
-  pf_dropped_inflight += o.pf_dropped_inflight;
-  pf_stall_structural += o.pf_stall_structural;
-  pf_issued_to_mem += o.pf_issued_to_mem;
-  pf_useful += o.pf_useful;
-  pf_useful_late += o.pf_useful_late;
-  pf_early_evicted += o.pf_early_evicted;
-  pf_mispredicted += o.pf_mispredicted;
-  pf_wakeups += o.pf_wakeups;
+  // u64 counters come from the registry, so a newly added counter can never
+  // be forgotten here; the RunningStat accumulators merge by hand.
+  for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
   pf_distance.merge(o.pf_distance);
   demand_miss_latency.merge(o.demand_miss_latency);
 }

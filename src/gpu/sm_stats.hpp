@@ -44,6 +44,44 @@ struct SmStats {
   // Memory latency observed by demand loads (miss path only).
   RunningStat demand_miss_latency;
 
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("active_cycles", &SmStats::active_cycles);
+    f("issued_instructions", &SmStats::issued_instructions);
+    f("issue_slots", &SmStats::issue_slots);
+    f("stall_cycles_all_mem", &SmStats::stall_cycles_all_mem);
+    f("stall_ldst_full", &SmStats::stall_ldst_full);
+    f("ctas_completed", &SmStats::ctas_completed);
+    f("l1_accesses", &SmStats::l1_accesses);
+    f("l1_hits", &SmStats::l1_hits);
+    f("l1_misses", &SmStats::l1_misses);
+    f("l1_fills", &SmStats::l1_fills);
+    f("l1_mshr_merges", &SmStats::l1_mshr_merges);
+    f("demand_to_mem", &SmStats::demand_to_mem);
+    f("stores_to_mem", &SmStats::stores_to_mem);
+    f("stall_mshr_full", &SmStats::stall_mshr_full);
+    f("stall_merge_full", &SmStats::stall_merge_full);
+    f("stall_xbar_full", &SmStats::stall_xbar_full);
+    f("pf_generated", &SmStats::pf_generated);
+    f("pf_dropped_queue_full", &SmStats::pf_dropped_queue_full);
+    f("pf_dropped_hit", &SmStats::pf_dropped_hit);
+    f("pf_dropped_inflight", &SmStats::pf_dropped_inflight);
+    f("pf_stall_structural", &SmStats::pf_stall_structural);
+    f("pf_issued_to_mem", &SmStats::pf_issued_to_mem);
+    f("pf_useful", &SmStats::pf_useful);
+    f("pf_useful_late", &SmStats::pf_useful_late);
+    f("pf_early_evicted", &SmStats::pf_early_evicted);
+    f("pf_mispredicted", &SmStats::pf_mispredicted);
+    f("pf_wakeups", &SmStats::pf_wakeups);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
   void merge(const SmStats& o);
 };
 

@@ -14,9 +14,15 @@ SchedulerKind default_scheduler_for(PrefetcherKind pf) {
       return SchedulerKind::kPas;
     case PrefetcherKind::kOrch:
       return SchedulerKind::kOrch;
-    default:
+    case PrefetcherKind::kNone:
+    case PrefetcherKind::kIntra:
+    case PrefetcherKind::kInter:
+    case PrefetcherKind::kMta:
+    case PrefetcherKind::kNlp:
+    case PrefetcherKind::kLap:
       return SchedulerKind::kTwoLevel;
   }
+  return SchedulerKind::kTwoLevel;
 }
 
 const char* to_string(RunStatus s) {

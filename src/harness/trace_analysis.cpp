@@ -118,7 +118,11 @@ LoadLoopProfile analyze_load_loops(const Kernel& kernel) {
           if (mult_stack.back() > 1) ++prof.repeated_loads;
         }
         break;
-      default:
+      case Opcode::kAlu:
+      case Opcode::kSfu:
+      case Opcode::kShared:
+      case Opcode::kBarrier:
+      case Opcode::kExit:
         break;
     }
   }

@@ -54,7 +54,12 @@ void Kernel::finalize() {
         ins.match = begin;
         break;
       }
-      default:
+      case Opcode::kAlu:
+      case Opcode::kSfu:
+      case Opcode::kMem:
+      case Opcode::kShared:
+      case Opcode::kBarrier:
+      case Opcode::kExit:
         break;
     }
   }
@@ -79,7 +84,12 @@ u64 Kernel::dynamic_warp_instructions() const {
         mult = stack.back().second;
         stack.pop_back();
         break;
-      default:
+      case Opcode::kAlu:
+      case Opcode::kSfu:
+      case Opcode::kMem:
+      case Opcode::kShared:
+      case Opcode::kBarrier:
+      case Opcode::kExit:
         count += mult;
         break;
     }

@@ -1,7 +1,7 @@
 #include "mem/cache.hpp"
 
 #include <bit>
-#include <cassert>
+#include "common/diag.hpp"
 
 namespace caps {
 
@@ -53,7 +53,7 @@ std::optional<std::pair<Addr, LineMeta>> SetAssocCache::fill(
     }
     if (victim == nullptr || way.lru < victim->lru) victim = &way;
   }
-  assert(victim != nullptr);
+  CAPS_CHECK(victim != nullptr, "cache victim selection failed");
   std::optional<std::pair<Addr, LineMeta>> evicted;
   if (victim->valid) evicted.emplace(victim->tag, victim->meta);
   victim->valid = true;

@@ -20,6 +20,27 @@ struct DramStats {
   u64 row_misses = 0;
   u64 busy_cycles = 0;      ///< cycles with at least one queued request
   u64 queue_full_stalls = 0;
+
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("reads", &DramStats::reads);
+    f("writes", &DramStats::writes);
+    f("row_hits", &DramStats::row_hits);
+    f("row_misses", &DramStats::row_misses);
+    f("busy_cycles", &DramStats::busy_cycles);
+    f("queue_full_stalls", &DramStats::queue_full_stalls);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
+  void merge(const DramStats& o) {
+    for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
+  }
 };
 
 class DramChannel {

@@ -15,6 +15,24 @@ struct XbarStats {
   u64 messages = 0;
   u64 total_queue_delay = 0;  ///< cycles messages spent queued past latency
   u64 inject_stalls = 0;      ///< push attempts refused because queue full
+
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("messages", &XbarStats::messages);
+    f("total_queue_delay", &XbarStats::total_queue_delay);
+    f("inject_stalls", &XbarStats::inject_stalls);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
+  void merge(const XbarStats& o) {
+    for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
+  }
 };
 
 /// One direction of the crossbar: N sources -> M destination queues.

@@ -24,6 +24,28 @@ struct L2Stats {
   u64 writebacks = 0;
   u64 stall_mshr_full = 0;
   u64 stall_dram_full = 0;
+
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("accesses", &L2Stats::accesses);
+    f("hits", &L2Stats::hits);
+    f("misses", &L2Stats::misses);
+    f("mshr_merges", &L2Stats::mshr_merges);
+    f("writebacks", &L2Stats::writebacks);
+    f("stall_mshr_full", &L2Stats::stall_mshr_full);
+    f("stall_dram_full", &L2Stats::stall_dram_full);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
+  void merge(const L2Stats& o) {
+    for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
+  }
 };
 
 class L2Partition {

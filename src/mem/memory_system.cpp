@@ -78,15 +78,7 @@ bool MemorySystem::idle() const {
 
 DramStats MemorySystem::dram_stats() const {
   DramStats agg;
-  for (const auto& c : channels_) {
-    const DramStats& s = c->stats();
-    agg.reads += s.reads;
-    agg.writes += s.writes;
-    agg.row_hits += s.row_hits;
-    agg.row_misses += s.row_misses;
-    agg.busy_cycles += s.busy_cycles;
-    agg.queue_full_stalls += s.queue_full_stalls;
-  }
+  for (const auto& c : channels_) agg.merge(c->stats());
   return agg;
 }
 
@@ -126,16 +118,7 @@ void MemorySystem::snapshot_into(MachineSnapshot& snap) const {
 
 L2Stats MemorySystem::l2_stats() const {
   L2Stats agg;
-  for (const auto& p : partitions_) {
-    const L2Stats& s = p->stats();
-    agg.accesses += s.accesses;
-    agg.hits += s.hits;
-    agg.misses += s.misses;
-    agg.mshr_merges += s.mshr_merges;
-    agg.writebacks += s.writebacks;
-    agg.stall_mshr_full += s.stall_mshr_full;
-    agg.stall_dram_full += s.stall_dram_full;
-  }
+  for (const auto& p : partitions_) agg.merge(p->stats());
   return agg;
 }
 

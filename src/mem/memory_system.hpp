@@ -22,6 +22,27 @@ struct TrafficStats {
   u64 core_write_requests = 0;
   u64 dram_reads = 0;           ///< lines read from DRAM
   u64 dram_writes = 0;
+
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("core_requests", &TrafficStats::core_requests);
+    f("core_demand_requests", &TrafficStats::core_demand_requests);
+    f("core_prefetch_requests", &TrafficStats::core_prefetch_requests);
+    f("core_write_requests", &TrafficStats::core_write_requests);
+    f("dram_reads", &TrafficStats::dram_reads);
+    f("dram_writes", &TrafficStats::dram_writes);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
+  void merge(const TrafficStats& o) {
+    for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
+  }
 };
 
 class MemorySystem {

@@ -24,7 +24,7 @@ void LocalityAwarePrefetcher::on_demand_miss(Addr line, Addr pc, i32 warp_slot,
     it = blocks_.emplace(block_base, BlockState{}).first;
   }
   BlockState& b = it->second;
-  b.miss_mask |= (1u << line_idx);
+  b.miss_mask |= (u64{1} << line_idx);
   b.lru = ++clock_;
   ++stats_.table_writes;
 
@@ -35,7 +35,7 @@ void LocalityAwarePrefetcher::on_demand_miss(Addr line, Addr pc, i32 warp_slot,
   // Prefetch every not-yet-missed line of the macro block, then retire the
   // block so it doesn't retrigger.
   for (u32 i = 0; i < lines_per_block; ++i) {
-    if (b.miss_mask & (1u << i)) continue;
+    if (b.miss_mask & (u64{1} << i)) continue;
     PrefetchRequest r;
     r.line = block_base + static_cast<Addr>(i) * cfg_.l1d.line_size;
     r.pc = pc;

@@ -25,7 +25,7 @@ class LocalityAwarePrefetcher final : public Prefetcher {
   static constexpr u32 kMaxTrackedBlocks = 64;
 
   struct BlockState {
-    u32 miss_mask = 0;
+    u64 miss_mask = 0;  // capacity bounds macro_block_lines (config::validate)
     u64 lru = 0;
   };
 

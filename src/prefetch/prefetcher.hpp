@@ -47,14 +47,26 @@ struct PrefetchEngineStats {
   u64 excluded_uncoalesced = 0;  ///< loads skipped: > max coalesced lines
   u64 throttle_suppressed = 0;   ///< generations suppressed by throttle
 
+  /// Counter registry (see stats.hpp): every u64 field above must be listed.
+  template <typename F>
+  static void for_each_counter_member(F&& f) {
+    f("table_reads", &PrefetchEngineStats::table_reads);
+    f("table_writes", &PrefetchEngineStats::table_writes);
+    f("requests_generated", &PrefetchEngineStats::requests_generated);
+    f("mispredictions", &PrefetchEngineStats::mispredictions);
+    f("excluded_indirect", &PrefetchEngineStats::excluded_indirect);
+    f("excluded_uncoalesced", &PrefetchEngineStats::excluded_uncoalesced);
+    f("throttle_suppressed", &PrefetchEngineStats::throttle_suppressed);
+  }
+
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for_each_counter_member(
+        [&](const char* name, auto m) { f(name, this->*m); });
+  }
+
   void merge(const PrefetchEngineStats& o) {
-    table_reads += o.table_reads;
-    table_writes += o.table_writes;
-    requests_generated += o.requests_generated;
-    mispredictions += o.mispredictions;
-    excluded_indirect += o.excluded_indirect;
-    excluded_uncoalesced += o.excluded_uncoalesced;
-    throttle_suppressed += o.throttle_suppressed;
+    for_each_counter_member([&](const char*, auto m) { this->*m += o.*m; });
   }
 };
 

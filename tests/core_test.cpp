@@ -211,7 +211,7 @@ TEST_F(CapsTest, IndirectLoadsAreExcluded) {
 
 TEST_F(CapsTest, UncoalescedLoadsAreExcluded) {
   std::vector<Addr> lines;
-  for (int i = 0; i < 6; ++i) lines.push_back(0x10000 + i * 128);
+  for (Addr i = 0; i < 6; ++i) lines.push_back(0x10000 + i * 128);
   auto reqs = issue(0, 0, 0x40, lines);  // > max_coalesced_lines (4)
   EXPECT_TRUE(reqs.empty());
   EXPECT_EQ(pf_->engine_stats().excluded_uncoalesced, 1u);

@@ -91,7 +91,7 @@ INSTANTIATE_TEST_SUITE_P(
                       PrefetcherKind::kInter, PrefetcherKind::kMta,
                       PrefetcherKind::kNlp, PrefetcherKind::kLap,
                       PrefetcherKind::kOrch, PrefetcherKind::kCaps),
-    [](const auto& info) { return to_string(info.param); });
+    [](const auto& param_info) { return to_string(param_info.param); });
 
 TEST(IntegrationTest, BaselineHasNoPrefetchTraffic) {
   RunConfig rc;

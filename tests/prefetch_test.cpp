@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "prefetch/factory.hpp"
 #include "prefetch/intra_warp.hpp"
@@ -236,6 +237,37 @@ TEST(LapTest, BlockRetiresAfterTrigger) {
   // Another miss in the same block must not re-trigger.
   pf.on_demand_miss(0x10000 + 256, 0x40, 0, out);
   EXPECT_EQ(out.size(), first);
+}
+
+TEST(LapTest, WideMacroBlockTracksUpperLines) {
+  // Regression: miss_mask was a u32, but macro_block_lines is not bounded
+  // by 32, so `1u << line_idx` for lines >= 32 of an 8 KiB macro block was
+  // undefined (UBSan: shift-count-overflow) and in practice aliased lines
+  // mod 32 — miscounting distinct misses and re-prefetching missed lines.
+  GpuConfig cfg;
+  cfg.baseline_pf.macro_block_lines = 64;  // 64 x 128 B = 8 KiB block
+  cfg.validate();
+  LocalityAwarePrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  const Addr base = 0x40000;
+  const Addr line32 = base + 32u * cfg.l1d.line_size;
+  const Addr line33 = base + 33u * cfg.l1d.line_size;
+  pf.on_demand_miss(line32, 0x40, 0, out);
+  EXPECT_TRUE(out.empty());  // one distinct miss: below threshold of 2
+  pf.on_demand_miss(line33, 0x40, 0, out);
+  ASSERT_EQ(out.size(), 62u);  // every line of the block except the 2 missed
+  std::set<Addr> lines;
+  for (const PrefetchRequest& r : out) lines.insert(r.line);
+  EXPECT_FALSE(lines.contains(line32));
+  EXPECT_FALSE(lines.contains(line33));
+  EXPECT_TRUE(lines.contains(base));
+  EXPECT_TRUE(lines.contains(base + 63u * cfg.l1d.line_size));
+}
+
+TEST(LapTest, MacroBlockSizeBeyondMaskCapacityRejected) {
+  GpuConfig cfg;
+  cfg.baseline_pf.macro_block_lines = 65;  // exceeds the 64-bit miss mask
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 // --------------------------------------------------------------- factory ---

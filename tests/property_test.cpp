@@ -300,7 +300,9 @@ INSTANTIATE_TEST_SUITE_P(Kinds, DeterminismTest,
                                            PrefetcherKind::kMta,
                                            PrefetcherKind::kLap,
                                            PrefetcherKind::kCaps),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
 
 }  // namespace
 }  // namespace caps

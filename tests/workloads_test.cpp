@@ -60,18 +60,22 @@ TEST(SuiteTest, IrregularWorkloadsContainIndirectLoads) {
 TEST(SuiteTest, RegularWorkloadsHaveNoIndirectLoads) {
   for (const std::string& name : regular_workload_names()) {
     const Workload& w = find_workload(name);
-    for (const Instruction& ins : w.kernel.instructions())
-      if (ins.op == Opcode::kMem && ins.is_load)
+    for (const Instruction& ins : w.kernel.instructions()) {
+      if (ins.op == Opcode::kMem && ins.is_load) {
         EXPECT_FALSE(ins.addr.indirect) << name;
+      }
+    }
   }
 }
 
 TEST(SuiteTest, WrapSizesArePowersOfTwo) {
   for (const Workload& w : workload_suite())
-    for (const Instruction& ins : w.kernel.instructions())
-      if (ins.op == Opcode::kMem && ins.addr.wrap_bytes != 0)
+    for (const Instruction& ins : w.kernel.instructions()) {
+      if (ins.op == Opcode::kMem && ins.addr.wrap_bytes != 0) {
         EXPECT_TRUE(std::has_single_bit(ins.addr.wrap_bytes))
             << w.abbr << " pc=" << ins.pc;
+      }
+    }
 }
 
 TEST(SuiteTest, EveryKernelEndsWithExit) {

@@ -1,0 +1,28 @@
+// Fixture: every line-level rule must fire on this file. Never compiled;
+// exercised only by capsim_lint_test.py.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace caps {
+
+int raw_assert_site(int x) {
+  assert(x > 0);  // raw-assert
+  if (x > 100) abort();  // raw-assert
+  return x;
+}
+
+unsigned nondeterministic() {
+  unsigned v = static_cast<unsigned>(rand());            // determinism
+  v += static_cast<unsigned>(time(nullptr));             // determinism
+  auto t = std::chrono::steady_clock::now();             // determinism
+  (void)t;
+  return v;
+}
+
+bool float_compare(double ipc) {
+  return ipc == 0.0;  // float-equality
+}
+
+}  // namespace caps

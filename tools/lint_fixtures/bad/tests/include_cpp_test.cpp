@@ -1,0 +1,4 @@
+// Fixture: include-cpp violation. Never compiled.
+#include "model.cpp"  // include-cpp
+
+int main() { return 0; }

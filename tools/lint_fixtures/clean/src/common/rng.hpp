@@ -1,0 +1,8 @@
+// Fixture: src/common/rng.hpp is the sanctioned home for entropy-like
+// code, so the determinism rule must skip this path. Never compiled.
+#pragma once
+
+inline unsigned long fixture_entropy() {
+  // random_device and steady_clock mentions are allowed here.
+  return 0x9e3779b97f4a7c15UL;
+}

@@ -1,0 +1,29 @@
+// Fixture: near-miss patterns that must NOT trigger any rule, plus one
+// explicitly suppressed finding. Never compiled.
+#include "common/diag.hpp"
+
+namespace caps {
+
+static_assert(sizeof(int) >= 4, "static_assert is not a raw assert");
+
+int checked(int x) {
+  CAPS_CHECK(x > 0, "use the NDEBUG-live check");  // the sanctioned form
+  // A comment mentioning assert( or abort( or rand() is not a finding.
+  const char* msg = "strings with time( or random_device are fine too";
+  (void)msg;
+  return x;
+}
+
+// operand_time(x) must not match the determinism rule's \btime\( pattern.
+int operand_time(int x) { return x + 1; }
+int use(int x) { return operand_time(x); }
+
+bool epsilon_compare(double a) {
+  return a < 0.5;  // ordered compares against literals are fine
+}
+
+bool exact_zero(double a) {
+  return a == 0.0;  // capsim-lint: allow(float-equality)
+}
+
+}  // namespace caps

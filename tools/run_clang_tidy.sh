@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every first-party translation unit using the
+# compile_commands.json a CMake configure exports (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always ON for this project).
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-binary]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLANG_TIDY="${2:-clang-tidy}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "       configure first: cmake -B ${BUILD_DIR} -S ${REPO_ROOT}" >&2
+  exit 2
+fi
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "error: ${CLANG_TIDY} not found on PATH" >&2
+  exit 2
+fi
+
+# First-party TUs only: third-party headers are filtered by the
+# HeaderFilterRegex in .clang-tidy, and lint fixtures are never compiled.
+mapfile -t FILES < <(cd "${REPO_ROOT}" &&
+  find src bench tests examples -name '*.cpp' | sort)
+
+echo "clang-tidy (${#FILES[@]} files, config $(cd "${REPO_ROOT}" && pwd)/.clang-tidy)"
+cd "${REPO_ROOT}"
+"${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+echo "clang-tidy: clean"
