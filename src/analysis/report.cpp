@@ -1,0 +1,119 @@
+#include "analysis/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace caps::analysis {
+namespace {
+
+std::string flags_of(const LoadAnalysis& l) {
+  std::string f;
+  auto add = [&](const char* tag) {
+    if (!f.empty()) f += ',';
+    f += tag;
+  };
+  if (l.loop_variant) add("loop-variant");
+  else if (l.in_loop) add("in-loop");
+  if (l.wrap_hazard) add("wrap-hazard");
+  else if (l.wrap_engaged) add("wrap-aliased");
+  if (l.partial_tail_warp) add("partial-warp");
+  if (!l.uniform_line_count) add("varying-lines");
+  if (f.empty()) f = "-";
+  return f;
+}
+
+void json_str(std::ostringstream& os, const char* key, const std::string& v,
+              bool comma = true) {
+  os << '"' << key << "\":\"" << v << '"' << (comma ? "," : "");
+}
+
+template <typename T>
+void json_num(std::ostringstream& os, const char* key, T v,
+              bool comma = true) {
+  os << '"' << key << "\":" << v << (comma ? "," : "");
+}
+
+void json_bool(std::ostringstream& os, const char* key, bool v,
+               bool comma = true) {
+  os << '"' << key << "\":" << (v ? "true" : "false") << (comma ? "," : "");
+}
+
+}  // namespace
+
+std::string text_report(const KernelAnalysis& ka) {
+  std::ostringstream os;
+  os << "kernel " << ka.kernel << "  grid " << format_dim3(ka.grid)
+     << "  block " << format_dim3(ka.block) << "  warps/CTA "
+     << ka.warps_per_cta << "\n";
+  os << "  " << std::left << std::setw(8) << "pc" << std::setw(14) << "class"
+     << std::setw(8) << "delta" << std::setw(7) << "lines" << std::setw(9)
+     << "issues" << std::setw(30) << "theta(c)" << "flags\n";
+  for (const LoadAnalysis& l : ka.loads) {
+    std::ostringstream pc, delta, theta;
+    pc << "0x" << std::hex << l.pc;
+    if (l.prefetchable())
+      delta << l.line_stride;
+    else
+      delta << "-";
+    if (l.cls == LoadClass::kIndirect) {
+      theta << "hash[0x" << std::hex << l.pattern.base << std::dec << " +"
+            << l.pattern.region_bytes << ")";
+    } else {
+      theta << "0x" << std::hex << l.theta_base << std::dec;
+      if (l.theta_cta_x != 0) theta << " + " << l.theta_cta_x << "*cx";
+      if (l.theta_cta_y != 0) theta << " + " << l.theta_cta_y << "*cy";
+    }
+    os << "  " << std::left << std::setw(8) << pc.str() << std::setw(14)
+       << to_string(l.cls) << std::setw(8) << delta.str() << std::setw(7)
+       << l.lines_per_warp << std::setw(9) << l.dynamic_issues
+       << std::setw(30) << theta.str() << flags_of(l) << "\n";
+  }
+  os << "  predicted: DIST valid " << ka.predicted_dist_valid
+     << ", PerCTA peak " << ka.predicted_percta_peak
+     << ", excluded_indirect " << ka.predicted_excluded_indirect
+     << ", excluded_uncoalesced " << ka.predicted_excluded_uncoalesced
+     << "\n";
+  return os.str();
+}
+
+std::string json_report(const KernelAnalysis& ka) {
+  std::ostringstream os;
+  os << "{";
+  json_str(os, "kernel", ka.kernel);
+  json_str(os, "grid", format_dim3(ka.grid));
+  json_str(os, "block", format_dim3(ka.block));
+  json_num(os, "warps_per_cta", ka.warps_per_cta);
+  json_num(os, "line_size", ka.line_size);
+  os << "\"loads\":[";
+  for (std::size_t i = 0; i < ka.loads.size(); ++i) {
+    const LoadAnalysis& l = ka.loads[i];
+    os << "{";
+    json_num(os, "pc", l.pc);
+    json_str(os, "class", to_string(l.cls));
+    json_bool(os, "prefetchable", l.prefetchable());
+    json_num(os, "line_stride", l.line_stride);
+    json_num(os, "warp_stride_bytes", l.warp_stride_bytes);
+    json_num(os, "lines_per_warp", l.lines_per_warp);
+    json_num(os, "dynamic_issues", l.dynamic_issues);
+    json_num(os, "theta_base", l.theta_base);
+    json_num(os, "theta_cta_x", l.theta_cta_x);
+    json_num(os, "theta_cta_y", l.theta_cta_y);
+    json_bool(os, "in_loop", l.in_loop);
+    json_bool(os, "loop_variant", l.loop_variant);
+    json_bool(os, "wrap_engaged", l.wrap_engaged);
+    json_bool(os, "wrap_hazard", l.wrap_hazard);
+    json_bool(os, "partial_tail_warp", l.partial_tail_warp);
+    json_bool(os, "uniform_line_count", l.uniform_line_count, false);
+    os << "}" << (i + 1 < ka.loads.size() ? "," : "");
+  }
+  os << "],";
+  json_num(os, "predicted_dist_valid", ka.predicted_dist_valid);
+  json_num(os, "predicted_percta_peak", ka.predicted_percta_peak);
+  json_num(os, "predicted_excluded_indirect", ka.predicted_excluded_indirect);
+  json_num(os, "predicted_excluded_uncoalesced",
+           ka.predicted_excluded_uncoalesced, false);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace caps::analysis

@@ -1,0 +1,18 @@
+// Human- and machine-readable renderings of a KernelAnalysis, shared by the
+// capsim-analyze CLI and any harness code that wants to log a report.
+#pragma once
+
+#include <string>
+
+#include "analysis/kernel_analyzer.hpp"
+
+namespace caps::analysis {
+
+/// Fixed-width per-load table plus the predicted CAP table summary.
+std::string text_report(const KernelAnalysis& ka);
+
+/// Deterministic JSON object (no external dependencies; keys are emitted in
+/// a fixed order so reports diff cleanly across runs).
+std::string json_report(const KernelAnalysis& ka);
+
+}  // namespace caps::analysis

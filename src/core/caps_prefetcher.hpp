@@ -45,6 +45,11 @@ class CapsPrefetcher final : public Prefetcher {
   DistTable& dist() { return dist_; }
   PerCtaTable& percta(u32 cta_slot) { return *percta_[cta_slot]; }
 
+  // Read-only introspection (oracle cross-checker): observing the tables
+  // through these can never perturb LRU or replacement state.
+  const DistTable& dist() const { return dist_; }
+  const PerCtaTable& percta(u32 cta_slot) const { return *percta_[cta_slot]; }
+
  private:
   struct CtaInfo {
     bool active = false;

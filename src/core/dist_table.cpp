@@ -2,6 +2,12 @@
 
 namespace caps {
 
+const DistTable::Entry* DistTable::find(Addr pc) const {
+  for (const Entry& e : entries_)
+    if (e.valid && e.pc == pc) return &e;
+  return nullptr;
+}
+
 DistTable::Entry* DistTable::find(Addr pc) {
   for (Entry& e : entries_) {
     if (e.valid && e.pc == pc) {

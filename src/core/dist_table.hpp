@@ -4,6 +4,7 @@
 // throttles prefetching for the PC once it crosses the threshold.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -24,6 +25,22 @@ class DistTable {
       : entries_(num_entries), threshold_(mispredict_threshold) {}
 
   Entry* find(Addr pc);
+
+  /// Read-only lookup for introspection (oracle cross-checker, tests):
+  /// unlike find(), does NOT refresh the LRU stamp, so observing the table
+  /// can never perturb replacement.
+  const Entry* find(Addr pc) const;
+
+  /// All entries (valid and not), read-only, for introspection.
+  std::span<const Entry> entries() const { return entries_; }
+
+  /// Number of valid entries.
+  u32 valid_count() const {
+    u32 n = 0;
+    for (const Entry& e : entries_)
+      if (e.valid) ++n;
+    return n;
+  }
 
   /// Record a confirmed stride for `pc` (resets the misprediction counter).
   /// The table is sticky: when all entries are valid and healthy the new PC

@@ -9,6 +9,7 @@
 // (CTA, PC, warp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -45,6 +46,10 @@ class PerCtaTable {
 
   /// All valid entries (case-1 prefetch generation iterates these).
   std::vector<Entry*> valid_entries();
+
+  /// All entries (valid and not), read-only, for introspection — never
+  /// touches LRU state.
+  std::span<const Entry> entries() const { return entries_; }
 
   u32 capacity() const { return static_cast<u32>(entries_.size()); }
 

@@ -1,0 +1,275 @@
+#include "harness/oracle.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/caps_prefetcher.hpp"
+
+namespace caps {
+namespace {
+
+/// Deduplicating divergence sink: one report per (pc, kind), with a
+/// repetition count appended so 15 SMs disagreeing the same way read as one
+/// diagnostic, not fifteen.
+class DivergenceSink {
+ public:
+  explicit DivergenceSink(OracleResult& r) : r_(r) {}
+
+  void add(Addr pc, const std::string& kind, const std::string& detail) {
+    const auto key = std::make_pair(pc, kind);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++counts_[it->second];
+      return;
+    }
+    index_[key] = r_.divergences.size();
+    counts_.push_back(1);
+    r_.divergences.push_back({r_.workload, pc, kind, detail});
+  }
+
+  void finalize() {
+    for (std::size_t i = 0; i < r_.divergences.size(); ++i)
+      if (counts_[i] > 1)
+        r_.divergences[i].detail +=
+            " (x" + std::to_string(counts_[i]) + " occurrences)";
+  }
+
+ private:
+  OracleResult& r_;
+  std::map<std::pair<Addr, std::string>, std::size_t> index_;
+  std::vector<u64> counts_;
+};
+
+/// Collapse repeated notes (one per SM is typical) into "note (xN)".
+void dedupe_notes(std::vector<std::string>& notes) {
+  std::vector<std::string> unique;
+  std::vector<u64> counts;
+  for (const std::string& n : notes) {
+    bool found = false;
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      if (unique[i] == n) {
+        ++counts[i];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      unique.push_back(n);
+      counts.push_back(1);
+    }
+  }
+  notes.clear();
+  for (std::size_t i = 0; i < unique.size(); ++i)
+    notes.push_back(counts[i] > 1
+                        ? unique[i] + " (x" + std::to_string(counts[i]) + ")"
+                        : unique[i]);
+}
+
+std::string hex_pc(Addr pc) {
+  std::ostringstream os;
+  os << "0x" << std::hex << pc;
+  return os.str();
+}
+
+void check_dist_tables(const Gpu& gpu, const GpuConfig& gc,
+                       const analysis::KernelAnalysis& ka, OracleResult& r,
+                       DivergenceSink& sink) {
+  // Which prefetchable PCs were learned by at least one SM.
+  std::map<Addr, bool> learned;
+
+  for (u32 i = 0; i < gc.num_sms; ++i) {
+    const auto* cp =
+        dynamic_cast<const CapsPrefetcher*>(&gpu.sm(i).prefetcher());
+    if (cp == nullptr) {
+      sink.add(0, "engine-mismatch",
+               "SM " + std::to_string(i) + " is not running CAPS");
+      continue;
+    }
+    for (const DistTable::Entry& e : cp->dist().entries()) {
+      if (!e.valid) continue;
+      const analysis::LoadAnalysis* la = ka.find(e.pc);
+      if (la == nullptr) {
+        sink.add(e.pc, "unknown-pc",
+                 "DIST learned PC " + hex_pc(e.pc) +
+                     " that is not a static global load");
+        continue;
+      }
+      if (la->cls == analysis::LoadClass::kIndirect) {
+        sink.add(e.pc, "learned-indirect",
+                 "DIST learned indirect PC " + hex_pc(e.pc) +
+                     ": the register-trace oracle should exclude it before "
+                     "any table access");
+        continue;
+      }
+      if (la->cls == analysis::LoadClass::kUncoalesced &&
+          la->uniform_line_count) {
+        sink.add(e.pc, "learned-uncoalesced",
+                 "DIST learned always-uncoalesced PC " + hex_pc(e.pc));
+        continue;
+      }
+      if (!la->prefetchable()) {
+        // Sometimes-uncoalesced or non-strided loads can legitimately train
+        // on a locally-uniform warp pair; record, don't gate.
+        r.notes.push_back("PC " + hex_pc(e.pc) + " (" + to_string(la->cls) +
+                          ") transiently learned stride " +
+                          std::to_string(e.stride));
+        continue;
+      }
+      if (e.stride != la->line_stride) {
+        if (la->wrap_hazard) {
+          r.notes.push_back(
+              "PC " + hex_pc(e.pc) + " learned stride " +
+              std::to_string(e.stride) + " != static " +
+              std::to_string(la->line_stride) +
+              " across a wrap seam (expected for wrap-hazard loads)");
+        } else {
+          sink.add(e.pc, "stride-mismatch",
+                   "PC " + hex_pc(e.pc) + ": DIST learned stride " +
+                       std::to_string(e.stride) + ", static analysis says " +
+                       std::to_string(la->line_stride));
+        }
+      }
+      learned[e.pc] = true;
+    }
+  }
+
+  // Completeness: when DIST capacity admits every prefetchable PC and CTAs
+  // have trailing warps to train with, each one must have been learned
+  // somewhere. (With more prefetchable PCs than entries, which subset wins
+  // admission is a scheduling race — membership is checked above only.)
+  if (ka.num_prefetchable() <= gc.caps.dist_entries &&
+      ka.warps_per_cta >= 2) {
+    for (const analysis::LoadAnalysis& la : ka.loads) {
+      if (!la.prefetchable() || la.wrap_hazard) continue;
+      if (!learned[la.pc])
+        sink.add(la.pc, "never-learned",
+                 "prefetchable PC " + hex_pc(la.pc) + " (static stride " +
+                     std::to_string(la.line_stride) +
+                     ") was never learned by any SM's DIST table");
+    }
+  }
+}
+
+void check_exclusion_counters(const GpuStats& stats,
+                              const analysis::KernelAnalysis& ka,
+                              DivergenceSink& sink) {
+  if (stats.pf_engine.excluded_indirect != ka.predicted_excluded_indirect)
+    sink.add(0, "excluded-indirect-count",
+             "runtime excluded_indirect = " +
+                 std::to_string(stats.pf_engine.excluded_indirect) +
+                 ", static prediction = " +
+                 std::to_string(ka.predicted_excluded_indirect));
+  if (stats.pf_engine.excluded_uncoalesced !=
+      ka.predicted_excluded_uncoalesced)
+    sink.add(0, "excluded-uncoalesced-count",
+             "runtime excluded_uncoalesced = " +
+                 std::to_string(stats.pf_engine.excluded_uncoalesced) +
+                 ", static prediction = " +
+                 std::to_string(ka.predicted_excluded_uncoalesced));
+}
+
+void check_leading_bases(
+    const std::map<std::pair<u32, Addr>, LoadTraceEvent>& first_issues,
+    const Kernel& kernel, const analysis::KernelAnalysis& ka,
+    DivergenceSink& sink) {
+  for (const auto& [key, e] : first_issues) {
+    const analysis::LoadAnalysis* la = ka.find(e.pc);
+    if (la == nullptr || la->cls == analysis::LoadClass::kIndirect) continue;
+    // The first warp of a CTA to issue an affine load is the leading warp
+    // CAP registers; its first execution is iteration 0 by construction.
+    const std::vector<Addr> predicted = analysis::predicted_warp_lines(
+        la->pattern, kernel.block(), e.cta_id, e.warp_in_cta, /*iter=*/0,
+        ka.line_size);
+    if (predicted.empty() || predicted.front() != e.first_line ||
+        predicted.size() != e.num_lines) {
+      sink.add(e.pc, "leading-base-mismatch",
+               "PC " + hex_pc(e.pc) + " CTA " + format_dim3(e.cta_id) +
+                   " leading warp " + std::to_string(e.warp_in_cta) +
+                   ": runtime base line " + hex_pc(e.first_line) + " (" +
+                   std::to_string(e.num_lines) + " lines), Theta(c) predicts " +
+                   (predicted.empty() ? std::string("<none>")
+                                      : hex_pc(predicted.front())) +
+                   " (" + std::to_string(predicted.size()) + " lines)");
+    }
+  }
+}
+
+}  // namespace
+
+OracleResult cross_check_workload(const Workload& w,
+                                  const OracleOptions& opt) {
+  OracleResult r;
+  r.workload = w.abbr;
+
+  GpuConfig gc = opt.base;
+  gc.prefetcher = PrefetcherKind::kCaps;
+  gc.scheduler = SchedulerKind::kPas;
+
+  r.analysis = analysis::analyze_kernel(w.kernel, gc);
+  if (opt.inject_divergence) {
+    // Seeded divergence fixture: skew one stride and one counter so the
+    // checker must fail. Exercised by the `analyze_negative` ctest target.
+    for (analysis::LoadAnalysis& la : r.analysis.loads) {
+      if (la.prefetchable()) {
+        la.line_stride += gc.l1d.line_size;
+        break;
+      }
+    }
+    r.analysis.predicted_excluded_indirect += 7;
+    r.notes.push_back("inject_divergence: static predictions skewed");
+  }
+
+  // Record the first issue of every (cta, load PC): the leading warp.
+  std::map<std::pair<u32, Addr>, LoadTraceEvent> first_issues;
+  LoadTraceHook hook = [&first_issues](const LoadTraceEvent& e) {
+    first_issues.emplace(std::make_pair(e.cta_flat, e.pc), e);
+  };
+
+  try {
+    gc.validate();
+    SmPolicyFactories policies = make_policies(
+        PrefetcherKind::kCaps, SchedulerKind::kPas, gc.caps.eager_wakeup);
+    Gpu gpu(gc, w.kernel, policies, hook);
+    const GpuStats stats = gpu.run();
+
+    if (stats.hit_cycle_limit) {
+      r.status = RunStatus::kConfigError;
+      r.error = "run hit the cycle limit; counters are partial — raise "
+                "max_cycles for the oracle cross-check";
+      return r;
+    }
+    if (!stats.audit_clean()) {
+      r.status = RunStatus::kInvariantViolation;
+      r.error = "invariant audit failed: " + stats.audit_violations.front();
+      return r;
+    }
+
+    DivergenceSink sink(r);
+    check_dist_tables(gpu, gc, r.analysis, r, sink);
+    check_exclusion_counters(stats, r.analysis, sink);
+    check_leading_bases(first_issues, w.kernel, r.analysis, sink);
+    sink.finalize();
+    dedupe_notes(r.notes);
+  } catch (const SimError& e) {
+    r.status = e.kind() == SimErrorKind::kDeadlock
+                   ? RunStatus::kDeadlock
+                   : (e.kind() == SimErrorKind::kConfigError
+                          ? RunStatus::kConfigError
+                          : RunStatus::kInvariantViolation);
+    r.error = e.what();
+  } catch (const std::invalid_argument& e) {
+    r.status = RunStatus::kConfigError;
+    r.error = e.what();
+  }
+  return r;
+}
+
+std::vector<OracleResult> cross_check_suite(const OracleOptions& opt) {
+  std::vector<OracleResult> results;
+  for (const Workload& w : workload_suite())
+    results.push_back(cross_check_workload(w, opt));
+  return results;
+}
+
+}  // namespace caps

@@ -1,0 +1,68 @@
+// CAP oracle cross-checker (DESIGN.md §11).
+//
+// Differential testing of the runtime CAP prefetcher against the static
+// kernel-IR analyzer: run a workload under CAPS+PAS, then assert that what
+// the hardware tables *learned* matches what the AddressPattern algebra
+// *proves* —
+//   * every valid DIST entry maps to a statically prefetchable load PC and
+//     carries exactly the static inter-warp stride Δ,
+//   * every statically prefetchable PC was learned by some SM (when the
+//     DIST capacity admits them all),
+//   * the excluded_indirect / excluded_uncoalesced counters equal the
+//     statically predicted dynamic issue counts,
+//   * the first warp of each CTA to issue an affine load (the leading warp
+//     CAP keys its PerCTA entry on) produced exactly the base lines
+//     Θ(c) predicts.
+// Any divergence is reported as a structured diagnostic: it means either a
+// simulator regression or an analyzer bug, and both gate the PR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/kernel_analyzer.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+
+/// One static-vs-dynamic disagreement.
+struct OracleDivergence {
+  std::string workload;
+  Addr pc = 0;        ///< load PC involved (0 for kernel-wide checks)
+  std::string kind;   ///< stable machine tag, e.g. "stride-mismatch"
+  std::string detail; ///< human-readable expected-vs-actual description
+};
+
+struct OracleOptions {
+  GpuConfig base{};  ///< machine config (prefetcher/scheduler are forced
+                     ///  to CAPS+PAS by the checker)
+  /// Negative-test fixture: deliberately skew the static predictions
+  /// (stride, exclusion counts) after analysis so the cross-check MUST
+  /// report divergences. Verifies the checker can actually fail.
+  bool inject_divergence = false;
+};
+
+/// Cross-check outcome for one workload.
+struct OracleResult {
+  std::string workload;
+  RunStatus status = RunStatus::kOk;    ///< how the simulation ended
+  std::string error;                    ///< non-empty when status != kOk
+  analysis::KernelAnalysis analysis;    ///< the static prediction used
+  std::vector<OracleDivergence> divergences;
+  /// Non-gating observations (e.g. wrap-hazard loads whose strict stride
+  /// check is relaxed by design).
+  std::vector<std::string> notes;
+
+  bool ok() const { return status == RunStatus::kOk && divergences.empty(); }
+};
+
+/// Run `w` under CAPS+PAS and cross-check runtime state vs. the static
+/// analysis. Never throws for simulation failures (status records them).
+OracleResult cross_check_workload(const Workload& w,
+                                  const OracleOptions& opt = {});
+
+/// Cross-check the whole 16-benchmark suite (Table IV order).
+std::vector<OracleResult> cross_check_suite(const OracleOptions& opt = {});
+
+}  // namespace caps

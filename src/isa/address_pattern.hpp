@@ -37,24 +37,28 @@ struct AddressPattern {
   u64 seed = 0;
   /// Lanes per hash group: consecutive lanes inside a group access
   /// consecutive elements (a BFS node's edges are contiguous even though
-  /// the node itself is random). 1 = fully scattered.
+  /// the node itself is random). 1 = fully scattered. Must be in
+  /// [1, kWarpSize]; Kernel::finalize() rejects anything else.
   u32 indirect_group = 8;
 
-  /// If nonzero (power of two), the affine offset wraps modulo this size:
-  /// the array has a bounded footprint and far-apart CTAs re-touch the same
-  /// lines (temporal reuse in L2, as real inputs of this size exhibit).
+  /// If nonzero, the affine offset wraps modulo this size: the array has a
+  /// bounded footprint and far-apart CTAs re-touch the same lines (temporal
+  /// reuse in L2, as real inputs of this size exhibit). Must be a power of
+  /// two — evaluate() masks with wrap_bytes-1, which is only a modulo for
+  /// powers of two; Kernel::finalize() rejects anything else.
   u64 wrap_bytes = 0;
 
-  /// Compute the address for one lane.
+  /// Compute the address for one lane. Patterns reaching this method have
+  /// been validated by Kernel::finalize() (wrap_bytes power of two,
+  /// indirect_group in [1, kWarpSize]).
   /// @param tid      thread index within the CTA (x/y)
   /// @param ctaid    CTA index within the grid (x/y)
   /// @param iter     innermost-loop iteration count at this execution
   /// @param gtid     globally unique flat thread id (for indirect hashing)
   Addr evaluate(const Dim3& tid, const Dim3& ctaid, u32 iter, u64 gtid) const {
     if (indirect) {
-      const u32 group = indirect_group == 0 ? 1 : indirect_group;
-      const u64 h = hash_combine(seed, gtid / group, iter);
-      const u64 lane_off = (gtid % group) * 4;
+      const u64 h = hash_combine(seed, gtid / indirect_group, iter);
+      const u64 lane_off = (gtid % indirect_group) * 4;
       return base + (region_bytes == 0 ? 0 : (h % region_bytes) + lane_off);
     }
     const i64 offset = c_tid_x * static_cast<i64>(tid.x) +

@@ -1,5 +1,6 @@
 #include "isa/kernel.hpp"
 
+#include <bit>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -54,9 +55,22 @@ void Kernel::finalize() {
         ins.match = begin;
         break;
       }
+      case Opcode::kMem: {
+        // AddressPattern invariants are enforced here, once, at build time,
+        // so evaluate() on the hot path never has to patch bad fields.
+        const AddressPattern& p = ins.addr;
+        if (p.wrap_bytes != 0 && !std::has_single_bit(p.wrap_bytes))
+          throw std::invalid_argument(
+              "kernel: wrap_bytes must be a power of two (evaluate() wraps "
+              "by masking with wrap_bytes-1)");
+        if (p.indirect &&
+            (p.indirect_group == 0 || p.indirect_group > kWarpSize))
+          throw std::invalid_argument(
+              "kernel: indirect_group must be in [1, warp size]");
+        break;
+      }
       case Opcode::kAlu:
       case Opcode::kSfu:
-      case Opcode::kMem:
       case Opcode::kShared:
       case Opcode::kBarrier:
       case Opcode::kExit:

@@ -1,0 +1,261 @@
+// Unit tests for the static kernel-IR load classifier (src/analysis/) and
+// the CAP oracle cross-checker (src/harness/oracle.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/kernel_analyzer.hpp"
+#include "analysis/report.hpp"
+#include "harness/oracle.hpp"
+#include "isa/kernel.hpp"
+#include "workloads/workload.hpp"
+
+namespace caps {
+namespace {
+
+using analysis::LoadClass;
+
+Kernel one_load_kernel(const AddressPattern& p, Dim3 grid = {4, 1},
+                       Dim3 block = {64, 1}) {
+  KernelBuilder b("t", grid, block);
+  b.load(p);
+  return b.build();
+}
+
+TEST(KernelAnalyzerTest, ClassifiesLinearLoadAsCtaAffine) {
+  // array[flat_tid], 4-byte elements, 64-thread block: warp covers 128
+  // bytes = exactly one line, adjacent warps one line apart.
+  const Kernel k = one_load_kernel(linear_pattern(0x1000'0000, 4, 64));
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  const analysis::LoadAnalysis& la = ka.loads[0];
+  EXPECT_EQ(la.cls, LoadClass::kCtaAffine);
+  EXPECT_TRUE(la.prefetchable());
+  EXPECT_EQ(la.line_stride, 128);
+  EXPECT_EQ(la.warp_stride_bytes, 128);
+  EXPECT_EQ(la.lines_per_warp, 1u);
+  EXPECT_TRUE(la.uniform_line_count);
+  EXPECT_EQ(la.theta_base, 0x1000'0000u);
+  EXPECT_EQ(la.theta_cta_x, 4 * 64);
+  EXPECT_EQ(la.dynamic_issues, 4u * 2u);  // 4 CTAs x 2 warps
+  EXPECT_EQ(ka.predicted_dist_valid, 1u);
+  EXPECT_EQ(ka.predicted_excluded_indirect, 0u);
+  EXPECT_EQ(ka.predicted_excluded_uncoalesced, 0u);
+}
+
+TEST(KernelAnalyzerTest, ClassifiesIndirectAndPredictsExclusions) {
+  const Kernel k = one_load_kernel(indirect_pattern(0x2000'0000, 1 << 20, 7));
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_EQ(ka.loads[0].cls, LoadClass::kIndirect);
+  EXPECT_TRUE(ka.loads[0].excluded());
+  // Every dynamic warp-level issue bumps excluded_indirect: 4 CTAs x 2 warps.
+  EXPECT_EQ(ka.predicted_excluded_indirect, 8u);
+  EXPECT_EQ(ka.predicted_dist_valid, 0u);
+}
+
+TEST(KernelAnalyzerTest, ClassifiesUncoalescedByLineCount) {
+  // One line per lane: 32 lines per warp >> max_coalesced_lines (4).
+  AddressPattern p;
+  p.base = 0x1000'0000;
+  p.c_tid_x = 256;  // two lines apart per lane
+  const Kernel k = one_load_kernel(p);
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_EQ(ka.loads[0].cls, LoadClass::kUncoalesced);
+  EXPECT_EQ(ka.loads[0].lines_per_warp, 32u);
+  // Every issue exceeds the limit, so every issue is predicted excluded.
+  EXPECT_EQ(ka.predicted_excluded_uncoalesced, ka.loads[0].dynamic_issues);
+}
+
+TEST(KernelAnalyzerTest, ClassifiesBroadcastAsZeroStride) {
+  // Every thread reads the same word: Δ = 0, still a (degenerate) target.
+  AddressPattern p;
+  p.base = 0x3000'0000;
+  const Kernel k = one_load_kernel(p);
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_EQ(ka.loads[0].cls, LoadClass::kZeroStride);
+  EXPECT_TRUE(ka.loads[0].prefetchable());
+  EXPECT_EQ(ka.loads[0].line_stride, 0);
+}
+
+TEST(KernelAnalyzerTest, SingleWarpCtaHasNoComparablePair) {
+  // One warp per CTA: CAP can never observe a (leading, trailing) pair, so
+  // the analyzer conservatively reports non-strided.
+  const Kernel k =
+      one_load_kernel(linear_pattern(0x1000'0000, 4, 32), {4, 1}, {32, 1});
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_EQ(ka.loads[0].cls, LoadClass::kNonStrided);
+  EXPECT_FALSE(ka.loads[0].prefetchable());
+}
+
+TEST(KernelAnalyzerTest, LoopContextAndIterationVariance) {
+  AddressPattern fixed = linear_pattern(0x1000'0000, 4, 64);
+  AddressPattern moving = linear_pattern(0x2000'0000, 4, 64);
+  moving.c_iter = 4 * 64;  // advances one warp-footprint per iteration
+
+  KernelBuilder b("t", {4, 1}, {64, 1});
+  b.loop(5);
+  b.load(fixed);
+  b.load(moving);
+  b.end_loop();
+  const Kernel k = b.build();
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 2u);
+  for (const analysis::LoadAnalysis& la : ka.loads) {
+    EXPECT_TRUE(la.in_loop);
+    EXPECT_EQ(la.innermost_trip, 5u);
+    EXPECT_EQ(la.trip_product, 5u);
+    EXPECT_EQ(la.dynamic_issues, 4u * 2u * 5u);
+    EXPECT_EQ(la.cls, LoadClass::kCtaAffine);
+  }
+  EXPECT_FALSE(ka.loads[0].loop_variant);
+  EXPECT_TRUE(ka.loads[1].loop_variant);
+}
+
+TEST(KernelAnalyzerTest, NestedLoopsMultiplyDynamicIssues) {
+  KernelBuilder b("t", {2, 1}, {64, 1});
+  b.loop(2);
+  b.loop(3);
+  b.load(linear_pattern(0x1000'0000, 4, 64));
+  b.end_loop();
+  b.end_loop();
+  const Kernel k = b.build();
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_EQ(ka.loads[0].innermost_trip, 3u);
+  EXPECT_EQ(ka.loads[0].trip_product, 6u);
+  EXPECT_EQ(ka.loads[0].dynamic_issues, 2u * 2u * 6u);
+}
+
+TEST(KernelAnalyzerTest, AlignedWrapAliasesWithoutHazard) {
+  // CTA stride == wrap window: far CTAs replay identical addresses, and no
+  // wrap seam ever falls inside one CTA's offsets.
+  AddressPattern p = linear_pattern(0x4000'0000, 4, 64);
+  p.c_cta_x = 1 << 12;
+  p.wrap_bytes = 1 << 12;
+  const Kernel k = one_load_kernel(p, {8, 1}, {64, 1});
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_TRUE(ka.loads[0].wrap_engaged);
+  EXPECT_FALSE(ka.loads[0].wrap_hazard);
+  EXPECT_EQ(ka.loads[0].cls, LoadClass::kCtaAffine);
+  EXPECT_EQ(ka.loads[0].line_stride, 128);
+}
+
+TEST(KernelAnalyzerTest, MisalignedWrapSeamIsAHazard) {
+  // CTA stride not a multiple of the window: some CTA's offsets straddle a
+  // seam, so an adjacent-warp delta wraps and CAP would mispredict there.
+  AddressPattern p = linear_pattern(0x4000'0000, 4, 64);
+  p.c_cta_x = 4000;
+  p.wrap_bytes = 1 << 12;
+  const Kernel k = one_load_kernel(p, {8, 1}, {64, 1});
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+
+  ASSERT_EQ(ka.loads.size(), 1u);
+  EXPECT_TRUE(ka.loads[0].wrap_engaged);
+  EXPECT_TRUE(ka.loads[0].wrap_hazard);
+}
+
+TEST(KernelAnalyzerTest, IndependentAlgebraMatchesRuntimeEvaluate) {
+  // The analyzer's own affine algebra must agree with the runtime's
+  // AddressPattern::evaluate() on every lane — that equivalence is what
+  // makes the static/dynamic cross-check meaningful.
+  AddressPattern p;
+  p.base = 0x1000;
+  p.c_tid_x = 4;
+  p.c_tid_y = 512;
+  p.c_cta_x = -64;
+  p.c_cta_y = 8192;
+  p.c_iter = 1 << 16;
+  p.wrap_bytes = 1 << 20;
+  const Dim3 block{32, 4};
+  for (u32 t = 0; t < block.count(); ++t) {
+    const Dim3 tid = unflatten(t, block);
+    for (const Dim3& cta : {Dim3{0, 0}, Dim3{3, 2}, Dim3{200, 9}})
+      for (u32 iter : {0u, 1u, 7u})
+        EXPECT_EQ(analysis::affine_lane_address(p, tid, cta, iter),
+                  p.evaluate(tid, cta, iter, 0));
+  }
+}
+
+TEST(KernelAnalyzerTest, SuiteKernelsAnalyzeCleanly) {
+  // Smoke: every Table IV kernel classifies every load, and the irregular
+  // benchmarks are the only ones with indirect loads.
+  for (const Workload& w : workload_suite()) {
+    const analysis::KernelAnalysis ka = analysis::analyze_kernel(w.kernel);
+    EXPECT_EQ(ka.loads.size(), w.kernel.num_global_loads()) << w.abbr;
+    u32 indirect = 0;
+    for (const analysis::LoadAnalysis& la : ka.loads)
+      if (la.cls == LoadClass::kIndirect) ++indirect;
+    EXPECT_EQ(indirect > 0, w.irregular) << w.abbr;
+  }
+}
+
+TEST(AnalysisReportTest, TextReportNamesEveryLoad) {
+  const analysis::KernelAnalysis ka =
+      analysis::analyze_kernel(find_workload("MM").kernel);
+  const std::string txt = analysis::text_report(ka);
+  EXPECT_NE(txt.find("kernel mm"), std::string::npos);
+  EXPECT_NE(txt.find("cta-affine"), std::string::npos);
+  EXPECT_NE(txt.find("predicted:"), std::string::npos);
+}
+
+TEST(AnalysisReportTest, JsonReportHasStableKeys) {
+  const analysis::KernelAnalysis ka =
+      analysis::analyze_kernel(find_workload("BFS").kernel);
+  const std::string js = analysis::json_report(ka);
+  for (const char* key :
+       {"\"kernel\":", "\"loads\":", "\"class\":", "\"line_stride\":",
+        "\"predicted_excluded_indirect\":", "\"wrap_hazard\":"})
+    EXPECT_NE(js.find(key), std::string::npos) << key;
+  // Deterministic: two renderings are byte-identical.
+  EXPECT_EQ(js, analysis::json_report(ka));
+}
+
+TEST(OracleTest, MatrixMulCrossChecksClean) {
+  const OracleResult r = cross_check_workload(find_workload("MM"));
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_TRUE(r.divergences.empty())
+      << r.divergences.front().kind << ": " << r.divergences.front().detail;
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(OracleTest, IrregularWorkloadCrossChecksClean) {
+  // BFS mixes affine and indirect loads: the exclusion-counter check is
+  // non-trivial there.
+  const OracleResult r = cross_check_workload(find_workload("BFS"));
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_TRUE(r.divergences.empty())
+      << r.divergences.front().kind << ": " << r.divergences.front().detail;
+  EXPECT_GT(r.analysis.predicted_excluded_indirect, 0u);
+}
+
+TEST(OracleTest, InjectedDivergenceIsDetected) {
+  // Negative fixture: with skewed predictions the checker MUST report
+  // divergence — otherwise it could never catch a real regression.
+  OracleOptions opt;
+  opt.inject_divergence = true;
+  const OracleResult r = cross_check_workload(find_workload("MM"), opt);
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_FALSE(r.ok());
+  bool saw_stride = false, saw_counter = false;
+  for (const OracleDivergence& d : r.divergences) {
+    if (d.kind == "stride-mismatch") saw_stride = true;
+    if (d.kind == "excluded-indirect-count") saw_counter = true;
+  }
+  EXPECT_TRUE(saw_stride);
+  EXPECT_TRUE(saw_counter);
+}
+
+}  // namespace
+}  // namespace caps

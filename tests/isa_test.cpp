@@ -202,6 +202,136 @@ TEST(KernelTest, RejectsOversizedBlock) {
   EXPECT_THROW(b.build(), std::invalid_argument);
 }
 
+TEST(AddressPatternTest, WrapMaskEqualsModuloForPowerOfTwo) {
+  // evaluate() implements the wrap with `& (wrap_bytes - 1)`, which is only
+  // a modulo for powers of two — the build-time validation below exists
+  // precisely to keep this equivalence sound.
+  AddressPattern p;
+  p.base = 0x8000;
+  p.c_tid_x = 4;
+  p.c_cta_x = 1000;  // deliberately not a multiple of the window
+  p.wrap_bytes = 1 << 12;
+  for (u32 cta = 0; cta < 16; ++cta) {
+    const u64 offset = 4u * 31 + 1000u * cta;
+    EXPECT_EQ(p.evaluate({31, 0}, {cta, 0}, 0, 0),
+              p.base + offset % p.wrap_bytes);
+  }
+}
+
+TEST(AddressPatternTest, WrapAliasesFarCtasOntoSameLines) {
+  // Bounded-footprint arrays: CTAs one window apart touch identical
+  // addresses (temporal L2 reuse), CTAs inside the window do not.
+  AddressPattern p;
+  p.base = 0x4000'0000;
+  p.c_tid_x = 4;
+  p.c_cta_x = 1 << 12;
+  p.wrap_bytes = 1 << 16;  // 16 CTAs per window
+  const Addr a0 = p.evaluate({5, 0}, {0, 0}, 0, 0);
+  EXPECT_EQ(p.evaluate({5, 0}, {16, 0}, 0, 0), a0);
+  EXPECT_EQ(p.evaluate({5, 0}, {32, 0}, 0, 0), a0);
+  EXPECT_NE(p.evaluate({5, 0}, {15, 0}, 0, 0), a0);
+}
+
+TEST(AddressPatternTest, NegativeOffsetWrapsIntoWindow) {
+  // A negative affine offset must wrap to the top of the window, not
+  // underflow below base.
+  AddressPattern p;
+  p.base = 0x1000;
+  p.c_tid_x = -4;
+  p.wrap_bytes = 1 << 16;
+  const Addr a = p.evaluate({1, 0}, {0, 0}, 0, 0);
+  EXPECT_EQ(a, p.base + p.wrap_bytes - 4);
+  EXPECT_GE(a, p.base);
+  EXPECT_LT(a, p.base + p.wrap_bytes);
+}
+
+TEST(AddressPatternTest, IndirectGroupWholeWarpIsContiguous) {
+  AddressPattern p = indirect_pattern(0x2000'0000, 1 << 20, 11);
+  p.indirect_group = kWarpSize;
+  const Addr a0 = p.evaluate({0, 0}, {0, 0}, 0, 0);
+  for (u64 lane = 1; lane < kWarpSize; ++lane)
+    EXPECT_EQ(p.evaluate({0, 0}, {0, 0}, 0, lane), a0 + lane * 4);
+}
+
+TEST(AddressPatternTest, IndirectGroupOneScattersEveryLane) {
+  AddressPattern p = indirect_pattern(0x2000'0000, 1 << 20, 11);
+  p.indirect_group = 1;
+  // With fully scattered lanes the odds of any two consecutive lanes being
+  // adjacent are negligible; require that not all of them are.
+  u32 adjacent = 0;
+  for (u64 lane = 1; lane < kWarpSize; ++lane) {
+    const Addr prev = p.evaluate({0, 0}, {0, 0}, 0, lane - 1);
+    const Addr cur = p.evaluate({0, 0}, {0, 0}, 0, lane);
+    if (cur == prev + 4) ++adjacent;
+  }
+  EXPECT_LT(adjacent, kWarpSize - 1);
+}
+
+TEST(AddressPatternTest, IterationTermAdvancesOnlyWithIteration) {
+  AddressPattern p;
+  p.base = 0x1000;
+  p.c_tid_x = 4;
+  p.c_iter = 512;
+  const Addr a0 = p.evaluate({3, 0}, {2, 0}, 0, 0);
+  for (u32 iter = 1; iter < 8; ++iter)
+    EXPECT_EQ(p.evaluate({3, 0}, {2, 0}, iter, 0), a0 + iter * 512u);
+  // Iteration-invariant pattern: same address every trip.
+  p.c_iter = 0;
+  EXPECT_EQ(p.evaluate({3, 0}, {2, 0}, 7, 0), p.evaluate({3, 0}, {2, 0}, 0, 0));
+}
+
+TEST(KernelTest, RejectsNonPowerOfTwoWrap) {
+  // Regression: evaluate() masks with wrap_bytes-1, which silently computes
+  // garbage for non-powers-of-two; the kernel must refuse to build instead.
+  AddressPattern p = linear_pattern(0x1000, 4, 32);
+  p.wrap_bytes = 3000;
+  KernelBuilder b("k", {1}, {32});
+  b.load(p);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(KernelTest, AcceptsPowerOfTwoAndZeroWrap) {
+  for (const u64 wrap : {u64{0}, u64{1} << 16}) {
+    AddressPattern p = linear_pattern(0x1000, 4, 32);
+    p.wrap_bytes = wrap;
+    KernelBuilder b("k", {1}, {32});
+    b.load(p);
+    EXPECT_NO_THROW(b.build());
+  }
+}
+
+TEST(KernelTest, RejectsBadIndirectGroup) {
+  // Regression: evaluate() used to silently patch indirect_group == 0 to 1;
+  // now the kernel refuses to build with an out-of-range group.
+  for (const u32 group : {0u, kWarpSize + 1, 1000u}) {
+    AddressPattern p = indirect_pattern(0x2000'0000, 1 << 20, 7);
+    p.indirect_group = group;
+    KernelBuilder b("k", {1}, {32});
+    b.load(p);
+    EXPECT_THROW(b.build(), std::invalid_argument) << "group=" << group;
+  }
+}
+
+TEST(KernelTest, IndirectGroupBoundsAreInclusive) {
+  for (const u32 group : {1u, kWarpSize}) {
+    AddressPattern p = indirect_pattern(0x2000'0000, 1 << 20, 7);
+    p.indirect_group = group;
+    KernelBuilder b("k", {1}, {32});
+    b.load(p);
+    EXPECT_NO_THROW(b.build()) << "group=" << group;
+  }
+}
+
+TEST(KernelTest, AffineLoadIgnoresIndirectGroupValidation) {
+  // indirect_group is dead state for affine patterns; a stray value must
+  // not reject an otherwise valid kernel.
+  AddressPattern p = linear_pattern(0x1000, 4, 32);
+  p.indirect_group = 0;
+  KernelBuilder b("k", {1}, {32});
+  b.load(p);
+  EXPECT_NO_THROW(b.build());
+}
+
 TEST(KernelTest, RejectsZeroTripLoop) {
   std::vector<Instruction> ins(3);
   ins[0].op = Opcode::kLoopBegin;

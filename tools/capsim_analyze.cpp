@@ -1,0 +1,160 @@
+// capsim-analyze: static kernel-IR load classification and CAP oracle
+// cross-checking over the Table IV workload suite (DESIGN.md §11).
+//
+// Modes:
+//   capsim-analyze                   text report, all 16 kernels
+//   capsim-analyze --kernel MM       one kernel
+//   capsim-analyze --json            deterministic JSON instead of text
+//   capsim-analyze --check           run each kernel under CAPS+PAS and
+//                                    diff runtime DIST strides, leading-warp
+//                                    bases, and exclusion counters against
+//                                    the static prediction
+//   capsim-analyze --check --inject-divergence
+//                                    negative fixture: skew the static
+//                                    predictions so --check MUST fail
+//                                    (proves the checker can fail)
+//
+// Exit codes: 0 = clean, 1 = divergence / simulation failure under --check,
+// 2 = usage or configuration error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "harness/oracle.hpp"
+#include "workloads/workload.hpp"
+
+using namespace caps;
+
+namespace {
+
+struct Options {
+  bool check = false;
+  bool inject_divergence = false;
+  bool json = false;
+  std::string kernel;  ///< empty = whole suite
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: capsim-analyze [--kernel ABBR] [--json] [--check] "
+               "[--inject-divergence]\n"
+               "  --kernel ABBR        analyze one Table IV workload "
+               "(default: all 16)\n"
+               "  --json               emit deterministic JSON instead of "
+               "text\n"
+               "  --check              cross-check the runtime CAP prefetcher "
+               "against the static analysis\n"
+               "  --inject-divergence  (with --check) skew predictions so the "
+               "check must fail; verifies the\n"
+               "                       checker's ability to detect "
+               "divergence\n");
+}
+
+std::vector<const Workload*> select(const std::string& kernel) {
+  std::vector<const Workload*> out;
+  if (kernel.empty()) {
+    for (const Workload& w : workload_suite()) out.push_back(&w);
+  } else {
+    out.push_back(&find_workload(kernel));
+  }
+  return out;
+}
+
+int report_mode(const Options& opt) {
+  const auto selected = select(opt.kernel);
+  if (opt.json) std::printf("[");
+  bool first = true;
+  for (const Workload* w : selected) {
+    const analysis::KernelAnalysis ka = analysis::analyze_kernel(w->kernel);
+    if (opt.json) {
+      std::printf("%s%s", first ? "" : ",\n",
+                  analysis::json_report(ka).c_str());
+    } else {
+      std::printf("%s%s", first ? "" : "\n",
+                  analysis::text_report(ka).c_str());
+    }
+    first = false;
+  }
+  if (opt.json) std::printf("]\n");
+  return 0;
+}
+
+int check_mode(const Options& opt) {
+  OracleOptions oracle_opt;
+  oracle_opt.inject_divergence = opt.inject_divergence;
+
+  const auto selected = select(opt.kernel);
+  u32 failed = 0;
+  for (const Workload* w : selected) {
+    const OracleResult r = cross_check_workload(*w, oracle_opt);
+    if (r.ok()) {
+      std::printf("[ OK ] %-4s %u loads, %u prefetchable, DIST valid %u\n",
+                  r.workload.c_str(),
+                  static_cast<u32>(r.analysis.loads.size()),
+                  r.analysis.num_prefetchable(), r.analysis.predicted_dist_valid);
+    } else {
+      ++failed;
+      const std::string why =
+          r.status == RunStatus::kOk
+              ? std::to_string(r.divergences.size()) + " divergence(s)"
+              : std::string(to_string(r.status)) + ": " + r.error;
+      std::printf("[FAIL] %-4s %s\n", r.workload.c_str(), why.c_str());
+      for (const OracleDivergence& d : r.divergences)
+        std::printf("       %-26s %s\n", d.kind.c_str(), d.detail.c_str());
+    }
+    for (const std::string& n : r.notes)
+      std::printf("       note: %s\n", n.c_str());
+  }
+  std::printf("%u/%u kernels clean\n",
+              static_cast<u32>(selected.size()) - failed,
+              static_cast<u32>(selected.size()));
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--check") {
+      opt.check = true;
+    } else if (a == "--inject-divergence") {
+      opt.inject_divergence = true;
+    } else if (a == "--json") {
+      opt.json = true;
+    } else if (a == "--kernel") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "capsim-analyze: --kernel needs an argument\n");
+        usage(stderr);
+        return 2;
+      }
+      opt.kernel = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "capsim-analyze: unknown option '%s'\n", a.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opt.inject_divergence && !opt.check) {
+    std::fprintf(stderr,
+                 "capsim-analyze: --inject-divergence requires --check\n");
+    return 2;
+  }
+
+  try {
+    return opt.check ? check_mode(opt) : report_mode(opt);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "capsim-analyze: unknown workload '%s'\n",
+                 opt.kernel.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "capsim-analyze: %s\n", e.what());
+    return 2;
+  }
+}

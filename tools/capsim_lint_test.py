@@ -67,6 +67,14 @@ class BadFixtureTest(unittest.TestCase):
         self.assertEqual(len(hits), 1, self.out)
         self.assertIn("include_cpp_test.cpp", hits[0])
 
+    def test_pattern_literal(self):
+        hits = self.findings("pattern-literal")
+        self.assertEqual(len(hits), 3, self.out)
+        for line in (9, 10, 11):
+            self.assertTrue(
+                any("kernels_fixture.cpp:%d" % line in h for h in hits),
+                self.out)
+
 
 class CleanFixtureTest(unittest.TestCase):
     """Near-miss patterns, exempt paths, and allow() suppressions pass."""

@@ -1,0 +1,20 @@
+// Fixture: hand-rolled AddressPattern literals that the pattern-literal
+// rule must flag (positional brace init bypasses the factory helpers and
+// silently depends on member order).
+#include "isa/address_pattern.hpp"
+
+namespace caps {
+
+void bad_patterns() {
+  AddressPattern a{0x1000, 4, 0, 1024};        // line 9: positional literal
+  AddressPattern b{.base = 0x2000, .c_tid_x = 4};  // line 10: designated
+  AddressPattern c{                            // line 11: multi-line literal
+      0x3000, 8};
+  (void)a;
+  (void)b;
+  (void)c;
+  AddressPattern d{0x4000};  // capsim-lint: allow(pattern-literal)
+  (void)d;
+}
+
+}  // namespace caps

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned AddressPattern construction styles — factory
+// helpers, value-init plus named member assignment, and copies — none of
+// which the pattern-literal rule may flag. Outside src/workloads/ the rule
+// does not apply at all (see ../model.cpp).
+#include "isa/address_pattern.hpp"
+
+namespace caps {
+
+void good_patterns() {
+  AddressPattern a = linear_pattern(0x1000, 4, 256);
+  AddressPattern b = indirect_pattern(0x2000, 1 << 20, 7);
+  AddressPattern c{};  // value-init then named assignment
+  c.base = 0x3000;
+  c.c_tid_x = 4;
+  AddressPattern d = c;  // copy of a validated pattern
+  (void)a;
+  (void)b;
+  (void)d;
+}
+
+}  // namespace caps
