@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/kernel_analyzer.hpp"
+#include "analysis/schedule_advisor.hpp"
 
 namespace caps::analysis {
 
@@ -12,7 +13,13 @@ namespace caps::analysis {
 std::string text_report(const KernelAnalysis& ka);
 
 /// Deterministic JSON object (no external dependencies; keys are emitted in
-/// a fixed order so reports diff cleanly across runs).
+/// a fixed order so reports diff cleanly across runs; string values are
+/// JSON-escaped).
 std::string json_report(const KernelAnalysis& ka);
+
+/// Schedule advisor renderings (DESIGN.md §12): predicted leading warp,
+/// discovery orders, prefetch distances and timeliness classes.
+std::string text_schedule_report(const ScheduleAdvice& adv);
+std::string json_schedule_report(const ScheduleAdvice& adv);
 
 }  // namespace caps::analysis

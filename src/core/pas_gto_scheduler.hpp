@@ -25,11 +25,25 @@ class PasGtoScheduler final : public Scheduler {
   void on_cta_launch(u32 /*cta_slot*/, u32 first_warp,
                      u32 /*num_warps*/) override {
     warps_[first_warp].leading = true;
+    ++markers_set_;
+    emit(SchedEventKind::kLeadingMark, first_warp);
+  }
+
+  void on_global_access(u32 slot) override {
+    // Greedy leading priority ends at the warp's first global access; the
+    // marker protocol belongs to the PAS schedulers (capsim-lint
+    // leading-marker rule).
+    if (!warps_[slot].leading) return;
+    warps_[slot].leading = false;
+    emit(SchedEventKind::kLeadingClear, slot);
   }
 
   void on_warp_done(u32 slot) override {
     if (greedy_ == static_cast<i32>(slot)) greedy_ = kNoWarp;
   }
+
+  /// Leading-warp markers set (one per CTA launch); schedule-oracle hook.
+  u64 markers_set() const { return markers_set_; }
 
   i32 pick(Cycle now) override {
     // Leading warps first (oldest wins), greedily.
@@ -67,6 +81,7 @@ class PasGtoScheduler final : public Scheduler {
 
  private:
   i32 greedy_ = kNoWarp;
+  u64 markers_set_ = 0;
 };
 
 }  // namespace caps

@@ -26,13 +26,25 @@ class PasScheduler final : public TwoLevelScheduler {
 
   void on_cta_launch(u32 cta_slot, u32 first_warp, u32 num_warps) override;
   void on_prefetch_fill(u32 slot) override;
+  void on_global_access(u32 slot) override;
   const char* name() const override { return "PAS"; }
+
+  // Read-only introspection for the schedule oracle (DESIGN.md §12).
+  /// Pending warps promoted to ready by an eager wake-up.
+  u64 wakeup_promotions() const { return wakeup_promotions_; }
+  /// Ready trailing warps displaced back to pending by an eager wake-up.
+  u64 forced_demotions() const { return forced_demotions_; }
+  /// Leading-warp markers set (one per CTA launch).
+  u64 markers_set() const { return markers_set_; }
 
  protected:
   i32 next_promotion(Cycle now) override;
 
  private:
   bool eager_wakeup_;
+  u64 wakeup_promotions_ = 0;
+  u64 forced_demotions_ = 0;
+  u64 markers_set_ = 0;
 };
 
 }  // namespace caps

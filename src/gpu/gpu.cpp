@@ -5,7 +5,7 @@
 namespace caps {
 
 Gpu::Gpu(const GpuConfig& cfg, const Kernel& kernel,
-         const SmPolicyFactories& policies, LoadTraceHook trace)
+         const SmPolicyFactories& policies, TraceHooks trace)
     : cfg_(cfg),
       kernel_(kernel),
       mem_(cfg),

@@ -77,7 +77,7 @@ struct GpuStats {
 class Gpu {
  public:
   Gpu(const GpuConfig& cfg, const Kernel& kernel,
-      const SmPolicyFactories& policies, LoadTraceHook trace = nullptr);
+      const SmPolicyFactories& policies, TraceHooks trace = {});
 
   /// Run the kernel to completion (or the configured cycle limit). Throws
   /// SimError(kDeadlock) with a machine snapshot if the forward-progress

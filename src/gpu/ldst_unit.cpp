@@ -89,6 +89,18 @@ void LdStUnit::process_replies(Cycle now) {
         // demand arrived before the data, so the covered gap is the
         // request's in-flight window.
         stats_.pf_distance.add(static_cast<double>(now - pf_origin->issue_cycle) / 2.0);
+        if (pf_trace_) {
+          i32 consumer = kNoWarp;
+          for (const L1Access& w : waiters) {
+            if (!w.is_prefetch) {
+              consumer = w.warp_slot;
+              break;
+            }
+          }
+          pf_trace_(PrefetchTraceEvent{PrefetchOutcome::kLate, sm_id_,
+                                       pf_origin->pc, reply.line, consumer,
+                                       pf_origin->issue_cycle, now});
+        }
       } else {
         meta.prefetched = true;
         meta.pf_issue_cycle = pf_origin->issue_cycle;
@@ -97,7 +109,15 @@ void LdStUnit::process_replies(Cycle now) {
     }
 
     auto evicted = l1_.fill(reply.line, meta);
-    if (evicted && evicted->second.prefetched) ++stats_.pf_early_evicted;
+    if (evicted && evicted->second.prefetched) {
+      ++stats_.pf_early_evicted;
+      if (pf_trace_) {
+        pf_trace_(PrefetchTraceEvent{PrefetchOutcome::kEarlyEvicted, sm_id_,
+                                     evicted->second.pf_pc, evicted->first,
+                                     kNoWarp, evicted->second.pf_issue_cycle,
+                                     now});
+      }
+    }
 
     for (const L1Access& w : waiters) {
       if (w.is_prefetch) continue;
@@ -153,6 +173,12 @@ bool LdStUnit::process_demand(Cycle now) {
     if (meta != nullptr && meta->prefetched) {
       ++stats_.pf_useful;
       stats_.pf_distance.add(static_cast<double>(now - meta->pf_issue_cycle));
+      if (pf_trace_) {
+        pf_trace_(PrefetchTraceEvent{PrefetchOutcome::kTimely, sm_id_,
+                                     meta->pf_pc, access.line,
+                                     access.warp_slot, meta->pf_issue_cycle,
+                                     now});
+      }
       meta->prefetched = false;  // consumed
     }
     completions_.push(Completion{now + cfg_.l1_hit_latency, access});

@@ -25,6 +25,25 @@ namespace caps {
 
 class MemorySystem;
 
+/// How a prefetched line ended up being used — the Fig. 14-style timeliness
+/// buckets, emitted per event so harness code can aggregate them per PC.
+enum class PrefetchOutcome : u8 {
+  kTimely,       ///< demand hit a prefetched line resident in L1
+  kLate,         ///< demand merged into the prefetch's in-flight MSHR entry
+  kEarlyEvicted, ///< prefetched line evicted before any demand touched it
+};
+
+struct PrefetchTraceEvent {
+  PrefetchOutcome outcome = PrefetchOutcome::kTimely;
+  u32 sm_id = 0;
+  Addr pc = 0;            ///< load PC the prefetch targeted
+  Addr line = 0;
+  i32 warp_slot = kNoWarp; ///< consuming warp (kTimely/kLate); kNoWarp else
+  Cycle issue_cycle = 0;  ///< when the prefetch was enqueued
+  Cycle cycle = 0;        ///< when the outcome was established
+};
+using PrefetchTraceHook = std::function<void(const PrefetchTraceEvent&)>;
+
 class LdStUnit {
  public:
   LdStUnit(const GpuConfig& cfg, u32 sm_id, MemorySystem& mem, SmStats& stats);
@@ -54,6 +73,8 @@ class LdStUnit {
   void set_miss_observer(std::function<void(Addr, Addr, i32)> cb) {
     miss_observer_ = std::move(cb);
   }
+  /// Per-event prefetch-outcome observer (timely/late/early buckets).
+  void set_prefetch_trace(PrefetchTraceHook cb) { pf_trace_ = std::move(cb); }
 
   bool idle() const;
   std::size_t demand_queue_size() const { return demand_q_.size(); }
@@ -92,6 +113,7 @@ class LdStUnit {
   std::function<void(u32)> load_done_;
   std::function<void(i32)> prefetch_fill_;
   std::function<void(Addr, Addr, i32)> miss_observer_;
+  PrefetchTraceHook pf_trace_;
 
   u64 next_req_id_ = 1;
 };

@@ -16,6 +16,26 @@
 
 namespace caps {
 
+/// Scheduler-side observability: the leading-warp marker protocol and the
+/// eager wake-up path emit these so harness code (the schedule oracle,
+/// DESIGN.md §12) can watch PAS decisions without touching scheduler state.
+enum class SchedEventKind : u8 {
+  kLeadingMark,     ///< CTA launch marked `warp_slot` as the leading warp
+  kLeadingClear,    ///< marker cleared at the warp's first global access
+  kEagerWakeup,     ///< pending warp promoted by a bound prefetch fill
+  kForcedDemotion,  ///< ready trailing warp displaced by an eager wake-up
+};
+
+struct SchedTraceEvent {
+  SchedEventKind kind = SchedEventKind::kLeadingMark;
+  u32 sm_id = 0;      ///< filled by the SM wrapper, not the scheduler
+  u32 cta_flat = 0;   ///< filled by the SM wrapper, not the scheduler
+  u32 warp_slot = 0;
+  u32 warp_in_cta = 0;
+  Dim3 cta_id{};
+};
+using SchedTraceHook = std::function<void(const SchedTraceEvent&)>;
+
 class Scheduler {
  public:
   /// @param eligible   true if the warp slot may issue this cycle
@@ -36,6 +56,13 @@ class Scheduler {
   virtual void on_loads_complete(u32 /*slot*/) {}
   /// A prefetch bound to `slot` filled L1 (PAS eager wake-up).
   virtual void on_prefetch_fill(u32 /*slot*/) {}
+  /// The SM reports every global memory access `slot` issues. The PAS
+  /// schedulers own the leading-warp marker protocol and clear the marker
+  /// here; baseline schedulers ignore it.
+  virtual void on_global_access(u32 /*slot*/) {}
+
+  /// Install an observer for marker/wake-up events (null disables).
+  void set_trace(SchedTraceHook hook) { trace_ = std::move(hook); }
 
   /// Select one warp to issue, or kNoWarp. Called up to issue_width times
   /// per cycle; each returned warp is issued immediately by the SM.
@@ -44,10 +71,22 @@ class Scheduler {
   virtual const char* name() const = 0;
 
  protected:
+  /// Emit a trace event for `slot`, annotated with its CTA coordinates.
+  void emit(SchedEventKind kind, u32 slot) {
+    if (!trace_) return;
+    SchedTraceEvent e;
+    e.kind = kind;
+    e.warp_slot = slot;
+    e.warp_in_cta = warps_[slot].warp_in_cta;
+    e.cta_id = warps_[slot].cta_id;
+    trace_(e);
+  }
+
   const GpuConfig& cfg_;
   std::vector<WarpContext>& warps_;
   std::function<bool(u32, Cycle)> eligible_;
   std::function<bool(u32)> waiting_mem_;
+  SchedTraceHook trace_;
 };
 
 /// Loose round-robin over all active warp slots.

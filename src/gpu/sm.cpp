@@ -10,7 +10,7 @@ namespace caps {
 
 StreamingMultiprocessor::StreamingMultiprocessor(
     const GpuConfig& cfg, u32 id, const Kernel& kernel, MemorySystem& mem,
-    const SmPolicyFactories& policies, LoadTraceHook trace)
+    const SmPolicyFactories& policies, TraceHooks trace)
     : cfg_(cfg),
       id_(id),
       kernel_(kernel),
@@ -48,6 +48,16 @@ StreamingMultiprocessor::StreamingMultiprocessor(
     prefetcher_->on_demand_miss(line, pc, warp_slot, pf_buffer_);
     if (!pf_buffer_.empty()) ldst_.push_prefetches(pf_buffer_, 0);
   });
+  if (trace_.prefetch) ldst_.set_prefetch_trace(trace_.prefetch);
+  if (trace_.sched) {
+    // The scheduler knows warp coordinates but not the SM id or grid shape;
+    // enrich its events here before forwarding.
+    scheduler_->set_trace([this](SchedTraceEvent e) {
+      e.sm_id = id_;
+      e.cta_flat = flatten(e.cta_id, kernel_.grid());
+      trace_.sched(e);
+    });
+  }
 }
 
 bool StreamingMultiprocessor::launch_cta(const Dim3& cta_id, Cycle now) {
@@ -165,10 +175,10 @@ void StreamingMultiprocessor::issue_memory(u32 slot, const Instruction& ins,
   }
   if (ins.is_load) wc.outstanding_loads += static_cast<u32>(lines.size());
 
-  if (trace_ && ins.is_load) {
-    trace_(LoadTraceEvent{id_, ins.pc, cta_flat, wc.cta_id, wc.warp_in_cta,
-                          slot, lines.front(), static_cast<u32>(lines.size()),
-                          now});
+  if (trace_.load && ins.is_load) {
+    trace_.load(LoadTraceEvent{id_, ins.pc, cta_flat, wc.cta_id,
+                               wc.warp_in_cta, slot, lines.front(),
+                               static_cast<u32>(lines.size()), now});
   }
 
   // Let the prefetch engine observe the issue.
@@ -190,10 +200,9 @@ void StreamingMultiprocessor::issue_memory(u32 slot, const Instruction& ins,
   prefetcher_->on_load_issue(info, pf_buffer_);
   if (!pf_buffer_.empty()) ldst_.push_prefetches(pf_buffer_, now);
 
-  // Leading-warp priority is only needed until the base address is
-  // computed (Section V-A): after its first global access the warp
-  // competes like any other.
-  wc.leading = false;
+  // The scheduler owns the leading-warp marker protocol (Section V-A): the
+  // PAS variants clear the marker at the warp's first global access.
+  scheduler_->on_global_access(slot);
 
   // Address generation + access throughput: one line per cycle.
   wc.ready_at = now + std::max<u64>(1, lines.size());

@@ -37,6 +37,18 @@ struct LoadTraceEvent {
 };
 using LoadTraceHook = std::function<void(const LoadTraceEvent&)>;
 
+/// Bundle of per-SM observers. Implicitly constructible from a bare
+/// LoadTraceHook so existing call sites that only trace loads keep working.
+struct TraceHooks {
+  LoadTraceHook load;
+  SchedTraceHook sched;
+  PrefetchTraceHook prefetch;
+
+  TraceHooks() = default;
+  TraceHooks(LoadTraceHook l) : load(std::move(l)) {}  // NOLINT(google-explicit-constructor)
+  TraceHooks(std::nullptr_t) {}                        // NOLINT(google-explicit-constructor)
+};
+
 /// Builds the policy objects for one SM.
 struct SmPolicyFactories {
   std::function<std::unique_ptr<Scheduler>(
@@ -50,7 +62,7 @@ class StreamingMultiprocessor {
  public:
   StreamingMultiprocessor(const GpuConfig& cfg, u32 id, const Kernel& kernel,
                           MemorySystem& mem, const SmPolicyFactories& policies,
-                          LoadTraceHook trace = nullptr);
+                          TraceHooks trace = {});
 
   /// Maximum CTAs this SM can hold for this kernel (resource limit).
   u32 max_concurrent_ctas() const { return max_concurrent_ctas_; }
@@ -101,7 +113,7 @@ class StreamingMultiprocessor {
   std::vector<CtaSlot> ctas_;
   std::unique_ptr<Prefetcher> prefetcher_;
   std::unique_ptr<Scheduler> scheduler_;
-  LoadTraceHook trace_;
+  TraceHooks trace_;
 
   u32 max_concurrent_ctas_ = 0;
   u32 resident_ctas_ = 0;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/kernel_analyzer.hpp"
+#include "analysis/schedule_advisor.hpp"
 #include "harness/experiment.hpp"
 #include "workloads/workload.hpp"
 
@@ -64,5 +65,44 @@ OracleResult cross_check_workload(const Workload& w,
 
 /// Cross-check the whole 16-benchmark suite (Table IV order).
 std::vector<OracleResult> cross_check_suite(const OracleOptions& opt = {});
+
+// ---------------------------------------------------------------------------
+// Schedule cross-check (DESIGN.md §12): the scheduler-side counterpart of
+// cross_check_workload. Runs the workload twice — once under PAS, once under
+// PAS-GTO — observes the marker protocol, base-address discovery order and
+// eager wake-ups through the trace hooks, and diffs them against the static
+// schedule advisor's predictions.
+// ---------------------------------------------------------------------------
+
+struct ScheduleOracleOptions {
+  GpuConfig base{};  ///< machine config (prefetcher is forced to CAPS; the
+                     ///  scheduler is swapped between PAS and PAS-GTO)
+  /// Negative-test fixture: skew the predicted leading warp and reverse the
+  /// predicted discovery orders so the cross-check MUST report divergences.
+  bool inject_divergence = false;
+};
+
+/// Schedule cross-check outcome for one workload.
+struct ScheduleCheckResult {
+  std::string workload;
+  RunStatus status = RunStatus::kOk;  ///< how the simulations ended
+  std::string error;                  ///< non-empty when status != kOk
+  analysis::ScheduleAdvice advice;    ///< the static prediction used
+  std::vector<OracleDivergence> divergences;
+  /// Non-gating observations (non-decisive timeliness shares, PCs with too
+  /// few prefetch samples to judge, injection markers).
+  std::vector<std::string> notes;
+
+  bool ok() const { return status == RunStatus::kOk && divergences.empty(); }
+};
+
+/// Run `w` under PAS and PAS-GTO and cross-check the observed schedule
+/// against advise_schedule(). Never throws for simulation failures.
+ScheduleCheckResult cross_check_schedule(const Workload& w,
+                                         const ScheduleOracleOptions& opt = {});
+
+/// Schedule cross-check for the whole suite (Table IV order).
+std::vector<ScheduleCheckResult> cross_check_schedule_suite(
+    const ScheduleOracleOptions& opt = {});
 
 }  // namespace caps

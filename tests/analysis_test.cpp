@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "analysis/kernel_analyzer.hpp"
 #include "analysis/report.hpp"
+#include "analysis/schedule_advisor.hpp"
 #include "harness/oracle.hpp"
 #include "isa/kernel.hpp"
 #include "workloads/workload.hpp"
@@ -222,6 +224,95 @@ TEST(AnalysisReportTest, JsonReportHasStableKeys) {
   EXPECT_EQ(js, analysis::json_report(ka));
 }
 
+TEST(AnalysisReportTest, JsonEscapesSpecialCharacters) {
+  // Regression: kernel names flow into JSON string values verbatim, so a
+  // quote or backslash in the name must be escaped, not emitted raw.
+  KernelBuilder b("quo\"te\\name", {2, 1}, {64, 1});
+  b.load(linear_pattern(0x1000'0000, 4, 64));
+  const Kernel k = b.build();
+  const analysis::KernelAnalysis ka = analysis::analyze_kernel(k);
+  const std::string js = analysis::json_report(ka);
+  EXPECT_NE(js.find("quo\\\"te\\\\name"), std::string::npos) << js;
+  EXPECT_EQ(js.find("quo\"te"), std::string::npos) << js;
+  const analysis::ScheduleAdvice adv = analysis::advise_schedule(k, ka);
+  const std::string sj = analysis::json_schedule_report(adv);
+  EXPECT_NE(sj.find("quo\\\"te\\\\name"), std::string::npos) << sj;
+  EXPECT_EQ(sj.find("quo\"te"), std::string::npos) << sj;
+}
+
+analysis::ScheduleAdvice advise(const char* workload) {
+  const Kernel k = find_workload(workload).kernel;
+  return analysis::advise_schedule(k, analysis::analyze_kernel(k));
+}
+
+TEST(ScheduleAdvisorTest, PredictsTwoLevelDiscoveryOrder) {
+  // CP: 4 warps/CTA, 8-slot ready queue -> two leaders stay ready-resident
+  // (CTA 15's pushed in front of CTA 0's); the six demoted leaders are
+  // promoted newest-demotion-first. PAS-GTO discovers in launch order.
+  const analysis::ScheduleAdvice adv = advise("CP");
+  EXPECT_EQ(adv.predicted_leading_warp, 0u);
+  EXPECT_TRUE(adv.order_reliable) << adv.order_caveat;
+  EXPECT_EQ(adv.warps_per_cta, 4u);
+  EXPECT_EQ(adv.max_concurrent_ctas, 8u);
+  EXPECT_EQ(adv.initial_wave_ctas, 120u);
+  EXPECT_EQ(adv.pending_warps, 24u);
+  EXPECT_TRUE(adv.wakeup_opportunity);
+  ASSERT_FALSE(adv.waves.empty());
+  const analysis::SmWave& w = adv.waves[0];
+  EXPECT_EQ(w.sm_id, 0u);
+  EXPECT_EQ(w.discovery_pas,
+            (std::vector<u32>{15, 0, 105, 90, 75, 60, 45, 30}));
+  EXPECT_EQ(w.discovery_pas_gto,
+            (std::vector<u32>{0, 15, 30, 45, 60, 75, 90, 105}));
+  EXPECT_EQ(w.ready_leader_count, 2u);
+}
+
+TEST(ScheduleAdvisorTest, SingleReadyLeaderWhenCtaFillsQueue) {
+  // HST: 8 warps/CTA fill the ready queue, so only CTA 0's leader is
+  // ready-resident; every later leader funnels through pending.
+  const analysis::ScheduleAdvice adv = advise("HST");
+  ASSERT_FALSE(adv.waves.empty());
+  EXPECT_EQ(adv.waves[0].discovery_pas, (std::vector<u32>{0, 45, 30, 15}));
+  EXPECT_EQ(adv.waves[0].discovery_pas_gto,
+            (std::vector<u32>{0, 15, 30, 45}));
+  EXPECT_EQ(adv.waves[0].ready_leader_count, 1u);
+}
+
+TEST(ScheduleAdvisorTest, TimelinessRulesMatchCalibration) {
+  // Straight-line first load with a pending population behind it: timely.
+  const analysis::ScheduleAdvice cp = advise("CP");
+  const analysis::PcSchedule* first = cp.find(cp.first_load_pc);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->timeliness, analysis::TimelinessClass::kTimelyDominant);
+  EXPECT_STREQ(first->rule, "leading-fanout-prologue");
+  // Second prologue load: ordering past the first stall is config-dependent.
+  const analysis::PcSchedule* second = cp.find(0x28);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->timeliness, analysis::TimelinessClass::kMixed);
+
+  // Barrier-synced loop (MM): the barrier lockstep erases the leader's head
+  // start each iteration.
+  const analysis::ScheduleAdvice mm = advise("MM");
+  ASSERT_FALSE(mm.pcs.empty());
+  for (const analysis::PcSchedule& ps : mm.pcs) {
+    EXPECT_EQ(ps.timeliness, analysis::TimelinessClass::kLateDominant);
+    EXPECT_STREQ(ps.rule, "barrier-synced-loop");
+  }
+
+  // Loop-body length decides free-running loops: CNV's ~49-cycle body
+  // covers the fill round trip, HST's ~17-cycle body does not.
+  const analysis::ScheduleAdvice cnv = advise("CNV");
+  const analysis::PcSchedule* cl = cnv.find(cnv.first_load_pc);
+  ASSERT_NE(cl, nullptr);
+  EXPECT_EQ(cl->timeliness, analysis::TimelinessClass::kTimelyDominant);
+  EXPECT_STREQ(cl->rule, "long-body-loop");
+  const analysis::ScheduleAdvice hst = advise("HST");
+  const analysis::PcSchedule* hl = hst.find(hst.first_load_pc);
+  ASSERT_NE(hl, nullptr);
+  EXPECT_EQ(hl->timeliness, analysis::TimelinessClass::kLateDominant);
+  EXPECT_STREQ(hl->rule, "short-body-loop");
+}
+
 TEST(OracleTest, MatrixMulCrossChecksClean) {
   const OracleResult r = cross_check_workload(find_workload("MM"));
   EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
@@ -255,6 +346,33 @@ TEST(OracleTest, InjectedDivergenceIsDetected) {
   }
   EXPECT_TRUE(saw_stride);
   EXPECT_TRUE(saw_counter);
+}
+
+TEST(ScheduleOracleTest, CpCrossChecksClean) {
+  const ScheduleCheckResult r = cross_check_schedule(find_workload("CP"));
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_TRUE(r.divergences.empty())
+      << r.divergences.front().kind << ": " << r.divergences.front().detail;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.advice.predicted_leading_warp, 0u);
+}
+
+TEST(ScheduleOracleTest, InjectedScheduleDivergenceIsDetected) {
+  // Negative fixture: a skewed leading-warp prediction and reversed
+  // discovery orders must be reported, or the gate is toothless.
+  ScheduleOracleOptions opt;
+  opt.inject_divergence = true;
+  const ScheduleCheckResult r =
+      cross_check_schedule(find_workload("MM"), opt);
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  EXPECT_FALSE(r.ok());
+  bool saw_mark = false, saw_order = false;
+  for (const OracleDivergence& d : r.divergences) {
+    if (d.kind == "pas:leading-mark-warp") saw_mark = true;
+    if (d.kind == "pas-gto:discovery-order") saw_order = true;
+  }
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_order);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <random>
 #include <set>
 
@@ -241,9 +242,9 @@ TEST_F(PasGtoTest, LeadingWarpsScheduledFirst) {
   s->on_cta_launch(1, 4, 4);
   // Both leading warps outrank everything; oldest (slot 0) first.
   EXPECT_EQ(s->pick(0), 0);
-  warps_[0].leading = false;  // computed its base (SM clears the marker)
+  s->on_global_access(0);  // computed its base: the scheduler clears it
   EXPECT_EQ(s->pick(0), 4);
-  warps_[4].leading = false;
+  s->on_global_access(4);
   // Now plain GTO: greedy on the last scheduled warp.
   EXPECT_EQ(s->pick(0), 4);
 }
@@ -277,6 +278,82 @@ TEST_F(PasGtoTest, RunsAFullKernel) {
   EXPECT_FALSE(s.hit_cycle_limit);
   EXPECT_EQ(s.sm.ctas_completed, k.num_ctas());
 }
+
+/// Starvation property: a leading warp that stays runnable but ineligible
+/// (scoreboard stall, issue-port conflict) must not block the slot — the
+/// greedy leading pass skips it, and trailing warps keep issuing. Randomized
+/// per-cycle stall patterns over both leaders and trailers.
+class PasGtoStarvationTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(PasGtoStarvationTest, IneligibleLeaderNeverStarvesTrailers) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    GpuConfig cfg;
+    cfg.max_warps_per_sm = 8;
+    std::vector<WarpContext> warps(8);
+    for (u32 w = 0; w < 8; ++w) {
+      warps[w].status = WarpStatus::kActive;
+      warps[w].launch_order = w;
+    }
+
+    // Per-cycle eligibility: leaders (slots 0 and 4) are stalled most of
+    // the time; trailers stall independently.
+    constexpr Cycle kCycles = 256;
+    std::vector<std::array<bool, 8>> elig(kCycles);
+    for (auto& row : elig)
+      for (u32 w = 0; w < 8; ++w)
+        row[w] = (w % 4 == 0) ? (rng() % 8 == 0) : (rng() % 2 == 0);
+
+    PasGtoScheduler s(
+        cfg, warps,
+        [&elig](u32 slot, Cycle now) {
+          return elig[static_cast<std::size_t>(now)][slot];
+        },
+        [](u32) { return false; });
+    s.on_cta_launch(0, 0, 4);
+    s.on_cta_launch(1, 4, 4);  // markers never cleared: leaders stay marked
+
+    u64 blocked_opportunities = 0;  // cycles: no leader eligible, trailer is
+    u64 trailer_picks_when_blocked = 0;
+    for (Cycle t = 0; t < kCycles; ++t) {
+      const auto& row = elig[static_cast<std::size_t>(t)];
+      const i32 p = s.pick(t);
+
+      bool any_eligible = false, leader_eligible = false;
+      i32 oldest_leader = kNoWarp;
+      for (u32 w = 0; w < 8; ++w) {
+        if (!row[w]) continue;
+        any_eligible = true;
+        if (warps[w].leading && oldest_leader == kNoWarp) {
+          leader_eligible = true;
+          oldest_leader = static_cast<i32>(w);
+        }
+      }
+
+      if (!any_eligible) {
+        EXPECT_EQ(p, kNoWarp) << "trial " << trial << " cycle " << t;
+        continue;
+      }
+      ASSERT_NE(p, kNoWarp) << "trial " << trial << " cycle " << t;
+      EXPECT_TRUE(row[static_cast<u32>(p)])
+          << "picked a stalled warp, trial " << trial << " cycle " << t;
+      if (leader_eligible) {
+        // Oldest eligible leading warp wins the greedy pass.
+        EXPECT_EQ(p, oldest_leader) << "trial " << trial << " cycle " << t;
+      } else {
+        // The runnable-but-ineligible leaders must not hold the slot.
+        ++blocked_opportunities;
+        if (!warps[static_cast<u32>(p)].leading) ++trailer_picks_when_blocked;
+      }
+    }
+    // Trailers ran on every single cycle the leaders were stalled.
+    EXPECT_EQ(trailer_picks_when_blocked, blocked_opportunities);
+    EXPECT_GT(blocked_opportunities, 0u) << "degenerate stall pattern";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PasGtoStarvationTest,
+                         ::testing::Values(101, 202, 303, 404));
 
 // ----------------------------------------------------- determinism sweep ---
 

@@ -1,18 +1,29 @@
-// capsim-analyze: static kernel-IR load classification and CAP oracle
-// cross-checking over the Table IV workload suite (DESIGN.md §11).
+// capsim-analyze: static kernel-IR load classification, schedule advising,
+// and oracle cross-checking over the Table IV workload suite (DESIGN.md
+// §11-§12).
 //
 // Modes:
 //   capsim-analyze                   text report, all 16 kernels
 //   capsim-analyze --kernel MM       one kernel
 //   capsim-analyze --json            deterministic JSON instead of text
-//   capsim-analyze --check           run each kernel under CAPS+PAS and
+//   capsim-analyze --schedule        add the schedule advisor sections
+//                                    (leading warp, discovery order,
+//                                    prefetch distances, timeliness)
+//   capsim-analyze --check           run each kernel under CAPS+PAS (and
+//                                    PAS-GTO for the schedule checks) and
 //                                    diff runtime DIST strides, leading-warp
-//                                    bases, and exclusion counters against
-//                                    the static prediction
+//                                    bases, exclusion counters, markers,
+//                                    discovery order, eager wake-ups and
+//                                    timeliness against the static
+//                                    predictions
+//   capsim-analyze --check --schedule
+//                                    schedule cross-check only
 //   capsim-analyze --check --inject-divergence
-//                                    negative fixture: skew the static
+//                                    negative fixture: skew the prefetcher
 //                                    predictions so --check MUST fail
-//                                    (proves the checker can fail)
+//   capsim-analyze --check --inject-schedule-divergence
+//                                    negative fixture for the schedule
+//                                    cross-check
 //
 // Exit codes: 0 = clean, 1 = divergence / simulation failure under --check,
 // 2 = usage or configuration error.
@@ -31,25 +42,36 @@ namespace {
 
 struct Options {
   bool check = false;
+  bool schedule = false;
   bool inject_divergence = false;
+  bool inject_schedule_divergence = false;
   bool json = false;
   std::string kernel;  ///< empty = whole suite
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: capsim-analyze [--kernel ABBR] [--json] [--check] "
-               "[--inject-divergence]\n"
+               "usage: capsim-analyze [--kernel ABBR] [--json] [--schedule] "
+               "[--check]\n"
+               "                      [--inject-divergence] "
+               "[--inject-schedule-divergence]\n"
                "  --kernel ABBR        analyze one Table IV workload "
                "(default: all 16)\n"
                "  --json               emit deterministic JSON instead of "
                "text\n"
-               "  --check              cross-check the runtime CAP prefetcher "
-               "against the static analysis\n"
-               "  --inject-divergence  (with --check) skew predictions so the "
-               "check must fail; verifies the\n"
-               "                       checker's ability to detect "
-               "divergence\n");
+               "  --schedule           add the schedule advisor sections; "
+               "with --check, run only\n"
+               "                       the schedule cross-check\n"
+               "  --check              cross-check the runtime prefetcher and "
+               "schedulers against the\n"
+               "                       static predictions\n"
+               "  --inject-divergence  (with --check) skew the prefetcher "
+               "predictions so the check\n"
+               "                       must fail\n"
+               "  --inject-schedule-divergence\n"
+               "                       (with --check) skew the schedule "
+               "predictions so the check\n"
+               "                       must fail\n");
 }
 
 std::vector<const Workload*> select(const std::string& kernel) {
@@ -69,11 +91,24 @@ int report_mode(const Options& opt) {
   for (const Workload* w : selected) {
     const analysis::KernelAnalysis ka = analysis::analyze_kernel(w->kernel);
     if (opt.json) {
-      std::printf("%s%s", first ? "" : ",\n",
-                  analysis::json_report(ka).c_str());
+      if (opt.schedule) {
+        const analysis::ScheduleAdvice adv =
+            analysis::advise_schedule(w->kernel, ka);
+        std::printf("%s{\"analysis\":%s,\"schedule\":%s}", first ? "" : ",\n",
+                    analysis::json_report(ka).c_str(),
+                    analysis::json_schedule_report(adv).c_str());
+      } else {
+        std::printf("%s%s", first ? "" : ",\n",
+                    analysis::json_report(ka).c_str());
+      }
     } else {
       std::printf("%s%s", first ? "" : "\n",
                   analysis::text_report(ka).c_str());
+      if (opt.schedule) {
+        const analysis::ScheduleAdvice adv =
+            analysis::advise_schedule(w->kernel, ka);
+        std::printf("%s", analysis::text_schedule_report(adv).c_str());
+      }
     }
     first = false;
   }
@@ -82,34 +117,64 @@ int report_mode(const Options& opt) {
 }
 
 int check_mode(const Options& opt) {
+  // Plain --check runs both cross-checks; --check --schedule restricts to
+  // the schedule side (the ctest targets exercise the two independently).
+  const bool run_prefetch_check = !opt.schedule;
+
   OracleOptions oracle_opt;
   oracle_opt.inject_divergence = opt.inject_divergence;
+  ScheduleOracleOptions sched_opt;
+  sched_opt.inject_divergence = opt.inject_schedule_divergence;
 
   const auto selected = select(opt.kernel);
-  u32 failed = 0;
+  u32 checks = 0, failed = 0;
   for (const Workload* w : selected) {
-    const OracleResult r = cross_check_workload(*w, oracle_opt);
-    if (r.ok()) {
-      std::printf("[ OK ] %-4s %u loads, %u prefetchable, DIST valid %u\n",
-                  r.workload.c_str(),
-                  static_cast<u32>(r.analysis.loads.size()),
-                  r.analysis.num_prefetchable(), r.analysis.predicted_dist_valid);
+    if (run_prefetch_check) {
+      ++checks;
+      const OracleResult r = cross_check_workload(*w, oracle_opt);
+      if (r.ok()) {
+        std::printf("[ OK ] %-4s %u loads, %u prefetchable, DIST valid %u\n",
+                    r.workload.c_str(),
+                    static_cast<u32>(r.analysis.loads.size()),
+                    r.analysis.num_prefetchable(),
+                    r.analysis.predicted_dist_valid);
+      } else {
+        ++failed;
+        const std::string why =
+            r.status == RunStatus::kOk
+                ? std::to_string(r.divergences.size()) + " divergence(s)"
+                : std::string(to_string(r.status)) + ": " + r.error;
+        std::printf("[FAIL] %-4s %s\n", r.workload.c_str(), why.c_str());
+        for (const OracleDivergence& d : r.divergences)
+          std::printf("       %-26s %s\n", d.kind.c_str(), d.detail.c_str());
+      }
+      for (const std::string& n : r.notes)
+        std::printf("       note: %s\n", n.c_str());
+    }
+
+    ++checks;
+    const ScheduleCheckResult s = cross_check_schedule(*w, sched_opt);
+    if (s.ok()) {
+      std::printf("[ OK ] %-4s schedule: leading warp %u, wave %u CTAs, "
+                  "%u PC(s) classified\n",
+                  s.workload.c_str(), s.advice.predicted_leading_warp,
+                  s.advice.initial_wave_ctas,
+                  static_cast<u32>(s.advice.pcs.size()));
     } else {
       ++failed;
       const std::string why =
-          r.status == RunStatus::kOk
-              ? std::to_string(r.divergences.size()) + " divergence(s)"
-              : std::string(to_string(r.status)) + ": " + r.error;
-      std::printf("[FAIL] %-4s %s\n", r.workload.c_str(), why.c_str());
-      for (const OracleDivergence& d : r.divergences)
+          s.status == RunStatus::kOk
+              ? std::to_string(s.divergences.size()) + " divergence(s)"
+              : std::string(to_string(s.status)) + ": " + s.error;
+      std::printf("[FAIL] %-4s schedule: %s\n", s.workload.c_str(),
+                  why.c_str());
+      for (const OracleDivergence& d : s.divergences)
         std::printf("       %-26s %s\n", d.kind.c_str(), d.detail.c_str());
     }
-    for (const std::string& n : r.notes)
+    for (const std::string& n : s.notes)
       std::printf("       note: %s\n", n.c_str());
   }
-  std::printf("%u/%u kernels clean\n",
-              static_cast<u32>(selected.size()) - failed,
-              static_cast<u32>(selected.size()));
+  std::printf("%u/%u checks clean\n", checks - failed, checks);
   return failed == 0 ? 0 : 1;
 }
 
@@ -121,8 +186,12 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--check") {
       opt.check = true;
+    } else if (a == "--schedule") {
+      opt.schedule = true;
     } else if (a == "--inject-divergence") {
       opt.inject_divergence = true;
+    } else if (a == "--inject-schedule-divergence") {
+      opt.inject_schedule_divergence = true;
     } else if (a == "--json") {
       opt.json = true;
     } else if (a == "--kernel") {
@@ -144,6 +213,12 @@ int main(int argc, char** argv) {
   if (opt.inject_divergence && !opt.check) {
     std::fprintf(stderr,
                  "capsim-analyze: --inject-divergence requires --check\n");
+    return 2;
+  }
+  if (opt.inject_schedule_divergence && !opt.check) {
+    std::fprintf(
+        stderr,
+        "capsim-analyze: --inject-schedule-divergence requires --check\n");
     return 2;
   }
 

@@ -67,6 +67,17 @@ class BadFixtureTest(unittest.TestCase):
         self.assertEqual(len(hits), 1, self.out)
         self.assertIn("include_cpp_test.cpp", hits[0])
 
+    def test_leading_marker(self):
+        hits = self.findings("leading-marker")
+        self.assertEqual(len(hits), 3, self.out)
+        self.assertTrue(
+            any("marker_write.cpp:7" in h for h in hits), self.out)
+        self.assertTrue(
+            any("marker_write.cpp:9" in h for h in hits), self.out)
+        # The rule is not src/-only: test code must also use the protocol.
+        self.assertTrue(
+            any("marker_write_test.cpp:6" in h for h in hits), self.out)
+
     def test_pattern_literal(self):
         hits = self.findings("pattern-literal")
         self.assertEqual(len(hits), 3, self.out)

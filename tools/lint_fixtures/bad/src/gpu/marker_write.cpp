@@ -1,0 +1,10 @@
+// Fixture: direct leading-marker writes outside src/core/pas_* must be
+// flagged (leading-marker, lines 7 and 9).
+struct Warp { bool leading = false; };
+
+void hijack_marker(Warp* warps, unsigned slot) {
+  // A hand-rolled "promotion" that bypasses the scheduler protocol:
+  warps[slot].leading = true;
+  // ...and a hand-rolled clear:
+  warps[slot].leading= false;
+}

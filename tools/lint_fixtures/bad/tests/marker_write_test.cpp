@@ -1,0 +1,7 @@
+// Fixture: the leading-marker rule also covers test code (line 6) — tests
+// must drive the protocol through the scheduler entry points.
+struct Warp { bool leading = false; };
+
+void fake_clear(Warp& w) {
+  w.leading = false;
+}

@@ -1,0 +1,7 @@
+// Fixture: src/core/pas_* owns the marker protocol, so direct writes are
+// sanctioned here.
+struct Warp { bool leading = false; };
+
+void mark(Warp* warps, unsigned slot) {
+  warps[slot].leading = true;   // exempt path: src/core/pas_*
+}

@@ -1,0 +1,15 @@
+// Fixture: near-misses for the leading-marker rule — comparisons are reads,
+// and an explicit allow() pragma suppresses a sanctioned write.
+struct Warp { bool leading = false; };
+
+bool is_leader(const Warp& w) {
+  return w.leading == true;  // comparison, not a write
+}
+
+bool not_leader(const Warp& w) {
+  return w.leading != true;
+}
+
+void sanctioned_reset(Warp& w) {
+  w.leading = false;  // capsim-lint: allow(leading-marker)
+}
