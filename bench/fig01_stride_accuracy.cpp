@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "harness/tables.hpp"
 #include "harness/trace_analysis.hpp"
 
@@ -17,7 +18,7 @@ int main(int argc, char** argv) {
   LoadTraceCollector collector;
   RunConfig rc;
   rc.workload = "MM";
-  run_experiment(rc, collector.hook());
+  run_sweep(std::vector<SweepJob>{{rc, collector.hook()}});
 
   const Addr pc = collector.hottest_pc();
   const u32 wpc = find_workload("MM").kernel.warps_per_cta();

@@ -36,33 +36,54 @@ int main(int argc, char** argv) {
   // baseline fails is dropped from the sweep (reported by usable()).
   std::map<std::string, double> base8;
   {
-    std::vector<std::string> kept;
+    std::vector<RunConfig> cfgs;
     for (const std::string& wl : workloads) {
       RunConfig rc;
       rc.workload = wl;
       rc.max_ctas_per_sm = 8;
-      const RunResult r = run_experiment(rc);
-      if (!usable(r)) continue;
-      base8[wl] = r.stats.ipc();
-      kept.push_back(wl);
+      cfgs.push_back(rc);
+    }
+    const std::vector<RunResult> runs = run_sweep(std::move(cfgs));
+    std::vector<std::string> kept;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (!usable(runs[i])) continue;
+      base8[workloads[i]] = runs[i].stats.ipc();
+      kept.push_back(workloads[i]);
     }
     workloads = std::move(kept);
   }
 
-  for (u32 ctas : {1u, 2u, 4u, 8u}) {
-    std::fprintf(stderr, "  CTA limit %u...\n", ctas);
-    std::vector<std::string> row{std::to_string(ctas)};
-    // BASE first, then the legend.
-    std::vector<PrefetcherKind> configs{PrefetcherKind::kNone};
-    for (PrefetcherKind pf : prefetcher_legend()) configs.push_back(pf);
+  // BASE first, then the legend.
+  std::vector<PrefetcherKind> configs{PrefetcherKind::kNone};
+  for (PrefetcherKind pf : prefetcher_legend()) configs.push_back(pf);
+
+  // One flattened sweep over {CTA limit} x {config} x {workload}; the
+  // executor returns results in submission order, so consume with a cursor
+  // running in the same construction order.
+  const std::vector<u32> cta_points{1, 2, 4, 8};
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(cta_points.size() * configs.size() * workloads.size());
+  for (u32 ctas : cta_points) {
     for (PrefetcherKind pf : configs) {
-      std::vector<double> norms;
       for (const std::string& wl : workloads) {
         RunConfig rc;
         rc.workload = wl;
         rc.prefetcher = pf;
         rc.max_ctas_per_sm = ctas;
-        const RunResult r = run_experiment(rc);
+        cfgs.push_back(std::move(rc));
+      }
+    }
+  }
+  std::fprintf(stderr, "  running %zu configurations...\n", cfgs.size());
+  const std::vector<RunResult> runs = run_sweep(std::move(cfgs));
+
+  std::size_t cursor = 0;
+  for (u32 ctas : cta_points) {
+    std::vector<std::string> row{std::to_string(ctas)};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      std::vector<double> norms;
+      for (const std::string& wl : workloads) {
+        const RunResult& r = runs[cursor++];
         if (!usable(r)) continue;
         norms.push_back(r.stats.ipc() / base8[wl]);
       }

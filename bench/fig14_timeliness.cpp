@@ -4,6 +4,7 @@
 //  (b) prefetch distance (cycles between prefetch issue and the consuming
 //      demand) when CAPS runs on LRR, plain two-level, and PAS.
 #include <cstdio>
+#include <iterator>
 
 #include "harness/tables.hpp"
 #include "matrix.hpp"
@@ -31,15 +32,25 @@ int main(int argc, char** argv) {
         {"CAPS w/o Wakeup", PrefetcherKind::kCaps, false},
     };
     Table t({"config", "early ratio (mean)"});
+    // One flattened sweep over {config} x {workload}, consumed per config.
+    std::vector<RunConfig> sweep;
+    sweep.reserve(std::size(cfgs) * workloads.size());
     for (const Cfg& c : cfgs) {
-      std::fprintf(stderr, "  %s...\n", c.label);
-      std::vector<double> ratios;
       for (const std::string& wl : workloads) {
         RunConfig rc;
         rc.workload = wl;
         rc.prefetcher = c.pf;
         rc.caps_eager_wakeup = c.wakeup;
-        const RunResult r = run_experiment(rc);
+        sweep.push_back(std::move(rc));
+      }
+    }
+    std::fprintf(stderr, "  running %zu configurations...\n", sweep.size());
+    const std::vector<RunResult> runs = run_sweep(std::move(sweep));
+    std::size_t cursor = 0;
+    for (const Cfg& c : cfgs) {
+      std::vector<double> ratios;
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult& r = runs[cursor++];
         if (!usable(r)) continue;
         if (r.stats.sm.pf_issued_to_mem > 0)
           ratios.push_back(r.stats.pf_early_ratio());
@@ -69,15 +80,24 @@ int main(int argc, char** argv) {
         {"PA-TLV (PAS)", SchedulerKind::kPas},
     };
     Table t({"scheduler", "avg distance (cycles)", "useful prefetches"});
+    std::vector<RunConfig> sweep;
+    sweep.reserve(std::size(scheds) * workloads.size());
     for (const Sched& s : scheds) {
-      std::fprintf(stderr, "  %s...\n", s.label);
-      RunningStat agg;
       for (const std::string& wl : workloads) {
         RunConfig rc;
         rc.workload = wl;
         rc.prefetcher = PrefetcherKind::kCaps;
         rc.scheduler = s.kind;
-        const RunResult r = run_experiment(rc);
+        sweep.push_back(std::move(rc));
+      }
+    }
+    std::fprintf(stderr, "  running %zu configurations...\n", sweep.size());
+    const std::vector<RunResult> runs = run_sweep(std::move(sweep));
+    std::size_t cursor = 0;
+    for (const Sched& s : scheds) {
+      RunningStat agg;
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult& r = runs[cursor++];
         if (!usable(r)) continue;
         agg.merge(r.stats.sm.pf_distance);
       }

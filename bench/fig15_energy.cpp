@@ -20,14 +20,25 @@ int main(int argc, char** argv) {
   Table t({"bench", "baseline (uJ)", "CAPS (uJ)", "normalized"});
   std::vector<double> norms;
 
-  for (const std::string& wl : matrix_workloads(quick)) {
-    std::fprintf(stderr, "  running %s (2 configurations)...\n", wl.c_str());
+  const std::vector<std::string> workloads = matrix_workloads(quick);
+  // One flattened sweep: (baseline, CAPS) per workload, in workload order.
+  std::vector<RunConfig> sweep;
+  sweep.reserve(workloads.size() * 2);
+  for (const std::string& wl : workloads) {
     RunConfig rc;
     rc.workload = wl;
     rc.prefetcher = PrefetcherKind::kNone;
-    const RunResult base = run_experiment(rc);
+    sweep.push_back(rc);
     rc.prefetcher = PrefetcherKind::kCaps;
-    const RunResult caps_run = run_experiment(rc);
+    sweep.push_back(std::move(rc));
+  }
+  std::fprintf(stderr, "  running %zu configurations...\n", sweep.size());
+  const std::vector<RunResult> runs = run_sweep(std::move(sweep));
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const std::string& wl = workloads[w];
+    const RunResult& base = runs[w * 2];
+    const RunResult& caps_run = runs[w * 2 + 1];
     if (!usable(base) || !usable(caps_run)) {
       t.add_row({wl, "", "",
                  to_string(base.ok() ? caps_run.status : base.status)});

@@ -5,11 +5,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "workloads/workload.hpp"
 
 namespace caps::bench {
@@ -41,13 +43,36 @@ inline bool usable(const RunResult& r) {
 /// results[workload][config-index]: index 0 = BASE, then the Fig. 10 legend.
 using Matrix = std::map<std::string, std::vector<RunResult>>;
 
-inline Matrix run_matrix(const std::vector<std::string>& workloads) {
-  Matrix m;
+inline Matrix run_matrix(const std::vector<std::string>& workloads,
+                         const SweepOptions& opt = {}) {
+  // Flatten the whole matrix (workloads x 8 configurations) into one sweep
+  // so the executor can keep every worker busy across workload boundaries.
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(workloads.size() * (1 + prefetcher_legend().size()));
   for (const std::string& wl : workloads) {
-    std::fprintf(stderr, "  running %s (8 configurations)...\n", wl.c_str());
-    std::vector<RunResult> runs = run_all_prefetchers(wl);
-    for (const RunResult& r : runs) usable(r);  // report failures up front
-    m[wl] = std::move(runs);
+    RunConfig rc;
+    rc.workload = wl;
+    rc.prefetcher = PrefetcherKind::kNone;
+    cfgs.push_back(rc);
+    for (PrefetcherKind pf : prefetcher_legend()) {
+      rc.prefetcher = pf;
+      cfgs.push_back(rc);
+    }
+  }
+  std::fprintf(stderr, "  running %zu configurations on %u thread(s)...\n",
+               cfgs.size(),
+               resolve_sweep_threads(opt.threads, cfgs.size()));
+  std::vector<RunResult> runs = run_sweep(std::move(cfgs), opt);
+
+  Matrix m;
+  const std::size_t per_wl = 1 + prefetcher_legend().size();
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    auto first = runs.begin() + static_cast<std::ptrdiff_t>(w * per_wl);
+    std::vector<RunResult> slice(
+        std::make_move_iterator(first),
+        std::make_move_iterator(first + static_cast<std::ptrdiff_t>(per_wl)));
+    for (const RunResult& r : slice) usable(r);  // report failures up front
+    m[workloads[w]] = std::move(slice);
   }
   return m;
 }

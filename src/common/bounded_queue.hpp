@@ -4,10 +4,10 @@
 // release (NDEBUG) builds instead of corrupting queue state.
 #pragma once
 
-#include <deque>
 #include <utility>
 
 #include "common/diag.hpp"
+#include "common/flat_deque.hpp"
 #include "common/types.hpp"
 
 namespace caps {
@@ -15,9 +15,16 @@ namespace caps {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {
+    items_.reserve(capacity_);
+  }
 
-  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    // Pre-size the ring so pushes up to the structural limit never allocate
+    // (the zero-allocation steady-state contract, DESIGN.md §13).
+    items_.reserve(capacity_);
+  }
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
@@ -53,7 +60,7 @@ class BoundedQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<T> items_;
+  FlatDeque<T> items_;
 };
 
 }  // namespace caps

@@ -4,11 +4,11 @@
 
 namespace caps {
 
-std::vector<Addr> Coalescer::coalesce(const AddressPattern& p, const Dim3& block,
-                                      const Dim3& cta_id, u32 cta_flat,
-                                      u32 warp_in_cta, u32 iter) const {
-  std::vector<Addr> lines;
-  lines.reserve(4);
+void Coalescer::coalesce_into(const AddressPattern& p, const Dim3& block,
+                              const Dim3& cta_id, u32 cta_flat,
+                              u32 warp_in_cta, u32 iter,
+                              std::vector<Addr>& out) const {
+  out.clear();
   const u32 threads = block.count();
   const u32 first_thread = warp_in_cta * kWarpSize;
   for (u32 lane = 0; lane < kWarpSize; ++lane) {
@@ -18,10 +18,19 @@ std::vector<Addr> Coalescer::coalesce(const AddressPattern& p, const Dim3& block
     const u64 gtid = static_cast<u64>(cta_flat) * threads + t;
     const Addr a = p.evaluate(tid, cta_id, iter, gtid);
     const Addr line = line_base(a, line_size_);
-    if (std::find(lines.begin(), lines.end(), line) == lines.end())
-      lines.push_back(line);
+    if (std::find(out.begin(), out.end(), line) == out.end())
+      out.push_back(line);
   }
-  std::sort(lines.begin(), lines.end());
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<Addr> Coalescer::coalesce(const AddressPattern& p,
+                                      const Dim3& block, const Dim3& cta_id,
+                                      u32 cta_flat, u32 warp_in_cta,
+                                      u32 iter) const {
+  std::vector<Addr> lines;
+  lines.reserve(4);
+  coalesce_into(p, block, cta_id, cta_flat, warp_in_cta, iter, lines);
   return lines;
 }
 

@@ -17,11 +17,19 @@ class Coalescer {
   explicit Coalescer(u32 line_size) : line_size_(line_size) {}
 
   /// Compute the coalesced line addresses (ascending, deduplicated) for
-  /// warp `warp_in_cta` of CTA `cta_id` executing access pattern `p`.
+  /// warp `warp_in_cta` of CTA `cta_id` executing access pattern `p`,
+  /// writing them into `out` (cleared first). The caller owns `out` and
+  /// reuses it across issues so the steady state never allocates
+  /// (DESIGN.md §13); at most kWarpSize lines are produced.
   ///
   /// @param active_threads  threads of the CTA (lanes beyond are inactive)
   /// @param iter            innermost loop iteration
   /// @param cta_flat        flat CTA index (for global thread ids)
+  void coalesce_into(const AddressPattern& p, const Dim3& block,
+                     const Dim3& cta_id, u32 cta_flat, u32 warp_in_cta,
+                     u32 iter, std::vector<Addr>& out) const;
+
+  /// Convenience form returning a fresh vector (tests, offline analysis).
   std::vector<Addr> coalesce(const AddressPattern& p, const Dim3& block,
                              const Dim3& cta_id, u32 cta_flat, u32 warp_in_cta,
                              u32 iter) const;

@@ -16,7 +16,16 @@ LdStUnit::LdStUnit(const GpuConfig& cfg, u32 sm_id, MemorySystem& mem,
       l1_(cfg.l1d),
       mshr_(cfg.l1d.mshr_entries, cfg.l1d.mshr_max_merged),
       demand_q_(cfg.ldst_queue_size),
-      prefetch_q_(cfg.ldst_queue_size * 2) {}
+      prefetch_q_(cfg.ldst_queue_size * 2) {
+  // Scratch for MSHR fills: sized once so process_replies never allocates
+  // in the steady state (DESIGN.md §13).
+  fill_scratch_.reserve(cfg.l1d.mshr_max_merged);
+  // Pre-size the completion heap's backing store the same way: at most one
+  // L1-hit completion per queued demand access can be in flight.
+  std::vector<Completion> store;
+  store.reserve(cfg.ldst_queue_size);
+  completions_ = decltype(completions_)(std::greater<>{}, std::move(store));
+}
 
 void LdStUnit::push_demand(const L1Access& access) {
   CAPS_CHECK(can_accept(1), "LD/ST demand queue overflow");
@@ -66,7 +75,8 @@ void LdStUnit::process_replies(Cycle now) {
     MemRequest reply;
     if (!mem_.pop_reply(sm_id_, now, reply)) break;
     const bool pf_entry = mshr_.is_prefetch_entry(reply.line);
-    std::vector<L1Access> waiters = mshr_.fill(reply.line);
+    mshr_.fill_into(reply.line, fill_scratch_);
+    const std::vector<L1Access>& waiters = fill_scratch_;
     CAPS_CHECK(!waiters.empty(), "MSHR fill returned no waiters");
     ++stats_.l1_fills;
 

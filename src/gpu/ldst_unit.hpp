@@ -100,6 +100,7 @@ class LdStUnit {
   Mshr<L1Access> mshr_;
   BoundedQueue<L1Access> demand_q_;
   BoundedQueue<L1Access> prefetch_q_;
+  std::vector<L1Access> fill_scratch_;  ///< reused by process_replies()
 
   /// L1-hit completions in flight: (ready cycle, access).
   struct Completion {

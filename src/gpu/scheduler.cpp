@@ -65,7 +65,7 @@ bool TwoLevelScheduler::in_ready(u32 slot) const {
   return std::find(ready_.begin(), ready_.end(), slot) != ready_.end();
 }
 
-void TwoLevelScheduler::erase_from(std::deque<u32>& q, u32 slot) {
+void TwoLevelScheduler::erase_from(FlatDeque<u32>& q, u32 slot) {
   auto it = std::find(q.begin(), q.end(), slot);
   if (it != q.end()) q.erase(it);
 }

@@ -6,12 +6,12 @@
 // predicate so policies stay purely about ordering.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_deque.hpp"
 #include "gpu/warp.hpp"
 
 namespace caps {
@@ -120,15 +120,23 @@ class GtoScheduler final : public Scheduler {
 /// back (FIFO) once their loads return.
 class TwoLevelScheduler : public Scheduler {
  public:
-  using Scheduler::Scheduler;
+  TwoLevelScheduler(const GpuConfig& cfg, std::vector<WarpContext>& warps,
+                    std::function<bool(u32, Cycle)> eligible,
+                    std::function<bool(u32)> waiting_mem)
+      : Scheduler(cfg, warps, std::move(eligible), std::move(waiting_mem)) {
+    // Both queues are bounded by the warp-slot count; pre-sizing them keeps
+    // the per-cycle promotion/demotion churn off the heap (DESIGN.md §13).
+    ready_.reserve(cfg.max_warps_per_sm);
+    pending_.reserve(cfg.max_warps_per_sm);
+  }
   void on_cta_launch(u32 cta_slot, u32 first_warp, u32 num_warps) override;
   void on_warp_done(u32 slot) override;
   i32 pick(Cycle now) override;
   const char* name() const override { return "TLV"; }
 
   // Test introspection.
-  const std::deque<u32>& ready_queue() const { return ready_; }
-  const std::deque<u32>& pending_queue() const { return pending_; }
+  const FlatDeque<u32>& ready_queue() const { return ready_; }
+  const FlatDeque<u32>& pending_queue() const { return pending_; }
 
  protected:
   /// Demote memory-stalled/finished warps, then refill ready slots.
@@ -140,10 +148,10 @@ class TwoLevelScheduler : public Scheduler {
   virtual void enqueue_ready(u32 slot, bool to_front);
 
   bool in_ready(u32 slot) const;
-  void erase_from(std::deque<u32>& q, u32 slot);
+  void erase_from(FlatDeque<u32>& q, u32 slot);
 
-  std::deque<u32> ready_;
-  std::deque<u32> pending_;
+  FlatDeque<u32> ready_;
+  FlatDeque<u32> pending_;
 };
 
 /// Two-level variant used with the ORCH prefetcher [17]: promotion

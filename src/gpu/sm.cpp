@@ -26,6 +26,12 @@ StreamingMultiprocessor::StreamingMultiprocessor(
     throw SimError(SimErrorKind::kConfigError,
                    "kernel CTA too large for this SM (warps/CTA exceeds "
                    "max_warps_per_sm)");
+  // Pre-size the per-issue scratch buffers: a warp coalesces to at most
+  // kWarpSize lines, and prefetchers cap their burst at the engine degree.
+  // Both are reused every issue, so the steady state never allocates
+  // (DESIGN.md §13).
+  coalesce_scratch_.reserve(kWarpSize);
+  pf_buffer_.reserve(kWarpSize);
   for (u32 b = 0; b < max_concurrent_ctas_; ++b)
     free_warp_blocks_.push_back(b * wpc);
   // Hand out in ascending slot order.
@@ -87,7 +93,7 @@ bool StreamingMultiprocessor::launch_cta(const Dim3& cta_id, Cycle now) {
 
   for (u32 w = 0; w < wpc; ++w) {
     WarpContext& wc = warps_[first_warp + w];
-    wc = WarpContext{};
+    wc.reset();
     wc.status = WarpStatus::kActive;
     wc.cta_slot = cta_slot;
     wc.warp_in_cta = w;
@@ -158,7 +164,7 @@ void StreamingMultiprocessor::finish_warp(u32 slot, Cycle now) {
 }
 
 void StreamingMultiprocessor::issue_memory(u32 slot, const Instruction& ins,
-                                           std::vector<Addr> lines,
+                                           std::span<const Addr> lines,
                                            Cycle now) {
   WarpContext& wc = warps_[slot];
   const u32 cta_flat = flatten(wc.cta_id, kernel_.grid());
@@ -229,14 +235,15 @@ bool StreamingMultiprocessor::issue(u32 slot, Cycle now) {
       ++wc.pc_idx;
       break;
     case Opcode::kMem: {
-      std::vector<Addr> lines = coalescer_.coalesce(
-          ins.addr, kernel_.block(), wc.cta_id, flatten(wc.cta_id, kernel_.grid()),
-          wc.warp_in_cta, wc.current_iteration());
-      if (!ldst_.can_accept(static_cast<u32>(lines.size()))) {
+      coalescer_.coalesce_into(ins.addr, kernel_.block(), wc.cta_id,
+                               flatten(wc.cta_id, kernel_.grid()),
+                               wc.warp_in_cta, wc.current_iteration(),
+                               coalesce_scratch_);
+      if (!ldst_.can_accept(static_cast<u32>(coalesce_scratch_.size()))) {
         ++stats_.stall_ldst_full;
         return false;
       }
-      issue_memory(slot, ins, std::move(lines), now);
+      issue_memory(slot, ins, coalesce_scratch_, now);
       break;
     }
     case Opcode::kBarrier:

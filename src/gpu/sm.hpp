@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/config.hpp"
@@ -97,8 +98,11 @@ class StreamingMultiprocessor {
   /// Attempt to issue one instruction from `slot`; returns false on a
   /// structural hazard (the issue slot is wasted, as in hardware).
   bool issue(u32 slot, Cycle now);
+  /// `lines` views the coalescer scratch buffer; it stays valid for the
+  /// duration of the call (nothing downstream re-coalesces) and is copied
+  /// into L1Access / PrefetchRequest records before returning.
   void issue_memory(u32 slot, const Instruction& ins,
-                    std::vector<Addr> lines, Cycle now);
+                    std::span<const Addr> lines, Cycle now);
   void arrive_barrier(u32 slot, Cycle now);
   void finish_warp(u32 slot, Cycle now);
   void on_load_done(u32 slot);
@@ -121,6 +125,7 @@ class StreamingMultiprocessor {
   u64 launch_counter_ = 0;
   std::vector<u32> free_warp_blocks_;  ///< first-warp slots of free regions
   std::vector<PrefetchRequest> pf_buffer_;
+  std::vector<Addr> coalesce_scratch_;  ///< reused per memory issue
 };
 
 }  // namespace caps

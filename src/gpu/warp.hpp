@@ -35,6 +35,23 @@ struct WarpContext {
 
   bool runnable() const { return status == WarpStatus::kActive; }
 
+  /// Return the context to its default-constructed state while keeping the
+  /// loop stack's capacity, so re-launching a warp slot for a new CTA does
+  /// not re-allocate (DESIGN.md §13). Use instead of `wc = WarpContext{}`.
+  void reset() {
+    status = WarpStatus::kInvalid;
+    cta_slot = 0;
+    warp_in_cta = 0;
+    cta_id = Dim3{};
+    pc_idx = 0;
+    ready_at = 0;
+    outstanding_loads = 0;
+    loops.clear();
+    leading = false;
+    launch_order = 0;
+    instructions_retired = 0;
+  }
+
   /// Innermost-loop iteration counter (0 outside loops).
   u32 current_iteration() const {
     return loops.empty() ? 0 : loops.back().iter;

@@ -1,8 +1,10 @@
 #include "harness/experiment.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/caps_prefetcher.hpp"
+#include "harness/sweep.hpp"
 #include "core/pas_scheduler.hpp"
 #include "prefetch/factory.hpp"
 
@@ -136,20 +138,21 @@ const std::vector<PrefetcherKind>& prefetcher_legend() {
 std::vector<RunResult> run_all_prefetchers(
     const std::string& workload, const GpuConfig& base,
     const std::function<void(RunConfig&)>& customize) {
-  std::vector<RunResult> out;
-  auto run_one = [&](PrefetcherKind pf) {
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(1 + prefetcher_legend().size());
+  auto add_one = [&](PrefetcherKind pf) {
     RunConfig rc;
     rc.workload = workload;
     rc.base = base;
     rc.prefetcher = pf;
     if (customize) customize(rc);
-    // run_experiment captures failures in the result, so one wedged or
-    // misconfigured entry never aborts the remaining configurations.
-    out.push_back(run_experiment(rc));
+    cfgs.push_back(std::move(rc));
   };
-  run_one(PrefetcherKind::kNone);
-  for (PrefetcherKind pf : prefetcher_legend()) run_one(pf);
-  return out;
+  add_one(PrefetcherKind::kNone);
+  for (PrefetcherKind pf : prefetcher_legend()) add_one(pf);
+  // The sweep executor preserves legend order and captures per-run failures,
+  // so one wedged or misconfigured entry never aborts the remaining ones.
+  return run_sweep(std::move(cfgs));
 }
 
 }  // namespace caps

@@ -63,6 +63,10 @@ struct RunResult {
   RunStatus status = RunStatus::kOk;
   std::string error;          ///< one-line failure summary (empty when ok)
   MachineSnapshot snapshot;   ///< machine state at failure (empty when ok)
+  /// Wall-clock time of this run, filled by run_sweep() (0 when the run was
+  /// executed directly). Harness annotation only — never simulation output,
+  /// and excluded from sweep_signature().
+  double wall_seconds = 0.0;
 
   bool ok() const { return status == RunStatus::kOk; }
 };

@@ -11,6 +11,7 @@
 #include "core/caps_prefetcher.hpp"
 #include "core/pas_gto_scheduler.hpp"
 #include "core/pas_scheduler.hpp"
+#include "harness/sweep.hpp"
 
 namespace caps {
 namespace {
@@ -593,10 +594,11 @@ OracleResult cross_check_workload(const Workload& w,
 }
 
 std::vector<OracleResult> cross_check_suite(const OracleOptions& opt) {
-  std::vector<OracleResult> results;
-  for (const Workload& w : workload_suite())
-    results.push_back(cross_check_workload(w, opt));
-  return results;
+  // Per-workload cross-checks are self-contained (one Gpu per check, all
+  // failures captured in the result), so they map across the worker pool.
+  return parallel_ordered_map(
+      workload_suite(),
+      [&opt](const Workload& w) { return cross_check_workload(w, opt); });
 }
 
 ScheduleCheckResult cross_check_schedule(const Workload& w,
@@ -677,10 +679,9 @@ ScheduleCheckResult cross_check_schedule(const Workload& w,
 
 std::vector<ScheduleCheckResult> cross_check_schedule_suite(
     const ScheduleOracleOptions& opt) {
-  std::vector<ScheduleCheckResult> results;
-  for (const Workload& w : workload_suite())
-    results.push_back(cross_check_schedule(w, opt));
-  return results;
+  return parallel_ordered_map(
+      workload_suite(),
+      [&opt](const Workload& w) { return cross_check_schedule(w, opt); });
 }
 
 }  // namespace caps

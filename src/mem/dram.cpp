@@ -14,7 +14,13 @@ DramChannel::DramChannel(const GpuConfig& cfg, DoneCallback done)
       num_banks_(cfg.dram_banks),
       queue_capacity_(cfg.dram_queue_size),
       done_(std::move(done)),
-      banks_(cfg.dram_banks) {}
+      banks_(cfg.dram_banks),
+      bank_seen_(cfg.dram_banks, 0) {
+  // Pre-size both rings to the structural queue limit so steady-state
+  // command scheduling never touches the heap (DESIGN.md §13).
+  queue_.reserve(queue_capacity_);
+  in_service_.reserve(queue_capacity_);
+}
 
 void DramChannel::submit(const MemRequest& req) {
   CAPS_CHECK(can_accept(),
@@ -28,7 +34,7 @@ void DramChannel::submit(const MemRequest& req) {
   queue_.push_back(p);
 }
 
-std::deque<DramChannel::Pending>::iterator DramChannel::pick(Cycle now) {
+FlatDeque<DramChannel::Pending>::iterator DramChannel::pick(Cycle now) {
   // First pass: oldest request that is a row hit on a ready bank.
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     const Bank& b = banks_[it->bank];
@@ -36,10 +42,22 @@ std::deque<DramChannel::Pending>::iterator DramChannel::pick(Cycle now) {
   }
   // Second pass: oldest request whose bank can start a new activation,
   // honouring tRRD (activate-to-activate across banks) and tRC (same bank).
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+  // Activation readiness is a property of the bank alone, so only the oldest
+  // queued request per bank can win: followers of a seen bank are skipped
+  // and the scan stops once every bank has been represented. Worst case is
+  // num_banks_ candidate evaluations instead of the full queue.
+  std::fill(bank_seen_.begin(), bank_seen_.end(), u8{0});
+  const Cycle rrd_gate = last_activate_any_ + scale(t_.tRRD);
+  const Cycle trc = scale(t_.tRC);
+  u32 seen = 0;
+  for (auto it = queue_.begin(); it != queue_.end() && seen < num_banks_;
+       ++it) {
+    if (bank_seen_[it->bank] != 0) continue;
+    bank_seen_[it->bank] = 1;
+    ++seen;
     const Bank& b = banks_[it->bank];
-    Cycle act_ok = std::max(b.ready_at, last_activate_any_ + scale(t_.tRRD));
-    if (b.open) act_ok = std::max(act_ok, b.last_activate + scale(t_.tRC));
+    Cycle act_ok = std::max(b.ready_at, rrd_gate);
+    if (b.open) act_ok = std::max(act_ok, b.last_activate + trc);
     if (act_ok <= now) return it;
   }
   return queue_.end();
@@ -90,7 +108,7 @@ void DramChannel::cycle(Cycle now) {
   const Cycle completes =
       in_service_.empty() ? data_end
                           : std::max(data_end, in_service_.back().first);
-  in_service_.emplace_back(completes, it->req);
+  in_service_.push_back({completes, it->req});
   queue_.erase(it);
 }
 

@@ -4,11 +4,12 @@
 // cycles; the channel scales them to core cycles internally.
 #pragma once
 
-#include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_deque.hpp"
 #include "mem/memory_request.hpp"
 
 namespace caps {
@@ -83,8 +84,11 @@ class DramChannel {
   }
 
   /// FR-FCFS pick: oldest row-hit if any bank-ready row-hit exists, else the
-  /// oldest request whose bank is ready.
-  std::deque<Pending>::iterator pick(Cycle now);
+  /// oldest request whose bank can start an activation. The second pass is a
+  /// bounded scan: per bank only the oldest queued request is a candidate
+  /// (activation readiness is a property of the bank, not the request), so
+  /// at most `num_banks_` entries are examined before giving up.
+  FlatDeque<Pending>::iterator pick(Cycle now);
 
   DramTiming t_;
   double ratio_;
@@ -93,13 +97,14 @@ class DramChannel {
   std::size_t queue_capacity_;
   DoneCallback done_;
 
-  std::deque<Pending> queue_;
+  FlatDeque<Pending> queue_;
   std::vector<Bank> banks_;
+  std::vector<u8> bank_seen_;  ///< per-pick scratch for the bounded scan
   Cycle bus_free_at_ = 0;
   Cycle last_activate_any_ = 0;  ///< for tRRD (activate-to-activate, any bank)
 
   /// Requests whose data transfer completes at .first.
-  std::deque<std::pair<Cycle, MemRequest>> in_service_;
+  FlatDeque<std::pair<Cycle, MemRequest>> in_service_;
 
   DramStats stats_;
 };

@@ -3,10 +3,10 @@
 // and one-message-per-destination-per-cycle drain bandwidth.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_deque.hpp"
 #include "mem/memory_request.hpp"
 
 namespace caps {
@@ -66,7 +66,7 @@ class Crossbar {
 
   u32 latency_;
   std::size_t queue_capacity_;
-  std::vector<std::deque<InFlight>> queues_;
+  std::vector<FlatDeque<InFlight>> queues_;
   XbarStats stats_;
 };
 

@@ -9,7 +9,14 @@ L2Partition::L2Partition(const GpuConfig& cfg, DramChannel& channel)
       channel_(channel),
       cache_(cfg.l2),
       mshr_(cfg.l2.mshr_entries, cfg.l2.mshr_max_merged),
-      probe_queue_(cfg.l2.miss_queue_size) {}
+      probe_queue_(cfg.l2.miss_queue_size) {
+  // Replies are bounded by outstanding MSHR fills plus hits in flight;
+  // write-backs by MSHR entries. Pre-size both so the steady state never
+  // allocates (DESIGN.md §13).
+  replies_.reserve(cfg.l2.mshr_entries * cfg.l2.mshr_max_merged);
+  pending_writebacks_.reserve(cfg.l2.mshr_entries);
+  fill_scratch_.reserve(cfg.l2.mshr_max_merged);
+}
 
 void L2Partition::accept(const MemRequest& req, Cycle now) {
   probe_queue_.push(Staged{now + cfg_.l2_latency, req});
@@ -115,7 +122,8 @@ void L2Partition::dram_done(const MemRequest& req, Cycle now) {
     pending_writebacks_.push_back(wb);
     ++stats_.writebacks;
   }
-  for (MemRequest& waiter : mshr_.fill(req.line)) replies_.push_back(waiter);
+  mshr_.fill_into(req.line, fill_scratch_);
+  for (MemRequest& waiter : fill_scratch_) replies_.push_back(waiter);
 }
 
 bool L2Partition::drain_writebacks() {

@@ -3,10 +3,10 @@
 // line granularity.
 #pragma once
 
-#include <deque>
 #include <memory>
 
 #include "common/bounded_queue.hpp"
+#include "common/flat_deque.hpp"
 #include "common/config.hpp"
 #include "mem/cache.hpp"
 #include "mem/mshr.hpp"
@@ -92,8 +92,9 @@ class L2Partition {
   SetAssocCache cache_;
   Mshr<MemRequest> mshr_;
   BoundedQueue<Staged> probe_queue_;   ///< tag-probe pipeline
-  std::deque<MemRequest> replies_;     ///< toward the reply crossbar
-  std::deque<MemRequest> pending_writebacks_;  ///< dirty evictions awaiting DRAM
+  FlatDeque<MemRequest> replies_;      ///< toward the reply crossbar
+  FlatDeque<MemRequest> pending_writebacks_;  ///< dirty evictions awaiting DRAM
+  std::vector<MemRequest> fill_scratch_;      ///< reused by dram_done()
   L2Stats stats_;
 };
 

@@ -1,0 +1,113 @@
+// Steady-state allocation test (DESIGN.md §13): after warm-up, stepping the
+// simulator must perform zero heap allocations. Every hot-path container —
+// scheduler queues, LD/ST queues, MSHR slots, crossbar/L2/DRAM queues,
+// coalescer scratch — is sized at construction, so a new allocation inside
+// the measurement window is a de-allocation regression.
+//
+// The global operator new/delete are replaced with counting versions; only
+// the delta across the measured window is asserted (gtest and the fixture
+// setup allocate freely outside it).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "gpu/gpu.hpp"
+#include "harness/experiment.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace caps {
+namespace {
+
+/// Total cycles the configuration simulates, so the warm-up/measure window
+/// can be placed well inside the run whatever the workload length.
+u64 total_cycles(const std::string& wl, PrefetcherKind pf,
+                 const GpuConfig& cfg) {
+  RunConfig rc;
+  rc.workload = wl;
+  rc.prefetcher = pf;
+  rc.base = cfg;
+  const RunResult r = run_experiment(rc);
+  EXPECT_EQ(r.status, RunStatus::kOk) << r.error;
+  return r.stats.cycles;
+}
+
+void expect_steady_state_allocation_free(const std::string& wl,
+                                         PrefetcherKind pf) {
+  GpuConfig cfg;
+  cfg.num_sms = 2;
+  const u64 total = total_cycles(wl, pf, cfg);
+  ASSERT_GT(total, 3'000u) << wl << " too short for a steady-state window";
+  const u64 warmup = total / 2;
+  const u64 window = total / 4;
+
+  const SchedulerKind sched = default_scheduler_for(pf);
+  GpuConfig gc = cfg;
+  gc.prefetcher = pf;
+  gc.scheduler = sched;
+  Gpu gpu(gc, find_workload(wl).kernel,
+          make_policies(pf, sched, /*caps_eager_wakeup=*/true));
+
+  for (u64 i = 0; i < warmup && !gpu.done(); ++i) gpu.step();
+  ASSERT_FALSE(gpu.done());
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (u64 i = 0; i < window && !gpu.done(); ++i) gpu.step();
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocation(s) in a " << window
+      << "-cycle steady-state window (" << wl << '/' << to_string(pf) << ')';
+}
+
+TEST(SteadyStateAllocTest, CounterSeesAllocations) {
+  const std::uint64_t before = g_alloc_count.load();
+  volatile int* p = new int(7);
+  delete p;
+  EXPECT_GT(g_alloc_count.load(), before);
+}
+
+// The BASE machine: no prefetcher, two-level scheduler. This is the
+// configuration the de-allocation work targets first.
+TEST(SteadyStateAllocTest, BaselineStepsWithoutAllocating) {
+  expect_steady_state_allocation_free("MM", PrefetcherKind::kNone);
+}
+
+// A second workload with barriers and a different access mix.
+TEST(SteadyStateAllocTest, ScanStepsWithoutAllocating) {
+  expect_steady_state_allocation_free("SCN", PrefetcherKind::kNone);
+}
+
+}  // namespace
+}  // namespace caps

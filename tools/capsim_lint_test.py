@@ -78,6 +78,18 @@ class BadFixtureTest(unittest.TestCase):
         self.assertTrue(
             any("marker_write_test.cpp:6" in h for h in hits), self.out)
 
+    def test_sweep_executor(self):
+        hits = self.findings("sweep-executor")
+        self.assertEqual(len(hits), 3, self.out)
+        # Both call sites in the bench driver...
+        self.assertTrue(
+            any("fig_fixture.cpp:9" in h for h in hits), self.out)
+        self.assertTrue(
+            any("fig_fixture.cpp:11" in h for h in hits), self.out)
+        # ...and the rule covers tools/ too.
+        self.assertTrue(
+            any("tool_fixture.cpp:7" in h for h in hits), self.out)
+
     def test_pattern_literal(self):
         hits = self.findings("pattern-literal")
         self.assertEqual(len(hits), 3, self.out)

@@ -1,0 +1,13 @@
+// Fixture: a bench driver that runs its configs one by one through
+// run_experiment() instead of the sweep executor. Both call sites must be
+// flagged by the sweep-executor rule.
+#include "harness/experiment.hpp"
+
+int main() {
+  caps::RunConfig rc;
+  rc.workload = "MM";
+  const caps::RunResult baseline = caps::run_experiment(rc);
+  rc.prefetcher = caps::PrefetcherKind::kCaps;
+  const caps::RunResult caps_run = caps::run_experiment(rc);
+  return baseline.ok() && caps_run.ok() ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Fixture: the sweep-executor rule covers tools/ as well as bench/.
+#include "harness/experiment.hpp"
+
+int main() {
+  caps::RunConfig rc;
+  rc.workload = "SCN";
+  return caps::run_experiment(rc).ok() ? 0 : 1;
+}

@@ -1,0 +1,17 @@
+// Fixture: a bench driver on the sanctioned path — configs go through the
+// sweep executor. Mentions of run_experiment in comments or strings, and a
+// pragma-suppressed call, must not fire the sweep-executor rule.
+#include "harness/sweep.hpp"
+
+int main() {
+  std::vector<caps::RunConfig> cfgs(2);
+  cfgs[0].workload = "MM";
+  cfgs[1].workload = "SCN";
+  const auto results = caps::run_sweep(std::move(cfgs));
+  const char* note = "run_experiment( is fine inside a string literal";
+  (void)note;
+  // A deliberate one-off is allowed when annotated:
+  const caps::RunResult one =
+      caps::run_experiment(results[0].cfg);  // capsim-lint: allow(sweep-executor)
+  return one.ok() ? 0 : 1;
+}
